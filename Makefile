@@ -1,0 +1,35 @@
+# Convenience targets for the Skia reproduction.
+
+PYTHON ?= python3
+SCALE ?= quick
+
+.PHONY: install test bench bench-smoke report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/shadow_decode_walkthrough.py
+	$(PYTHON) examples/workload_report.py
+	$(PYTHON) examples/custom_workload.py
+	$(PYTHON) examples/btb_scaling_study.py
+
+clean:
+	rm -rf .pytest_cache benchmarks/bench_results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,73 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one exhibit (table/figure) from the paper's
+evaluation section and prints its ASCII rendering, so the benchmark log
+together with ``bench_results/`` is a full reproduction of Section 6.
+
+``REPRO_SCALE`` controls trace length (see repro.harness.scale); the
+sweep densities below also shrink at smoke scale so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scale import current_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One memoised runner shared by every benchmark, so exhibits that
+    need the same (workload, config) cells share the simulation."""
+    return ExperimentRunner(scale=current_scale())
+
+
+@pytest.fixture(scope="session")
+def sweep_params() -> dict:
+    """Sweep densities tuned per scale."""
+    scale = current_scale()
+    if scale.name == "smoke":
+        return {
+            "workloads": ("noop", "voter", "kafka"),
+            "btb_sizes": (4096, 8192),
+            "fig17_splits": ((768, 2024), (1024, 1024)),
+            "fig17_scales": (0.5, 1.0),
+            "max_paths_limits": (1, 6),
+        }
+    if scale.name == "quick":
+        from repro.workloads.profiles import WORKLOAD_NAMES
+        return {
+            "workloads": WORKLOAD_NAMES,
+            "btb_sizes": (2048, 8192, 32768),
+            "fig17_splits": ((0, 5016), (512, 3020), (768, 2024),
+                             (1024, 1024), (1284, 8)),
+            "fig17_scales": (0.25, 0.5, 1.0, 2.0, 4.0),
+            "max_paths_limits": (1, 6, 64),
+        }
+    from repro.harness.experiments import BTB_SWEEP, FIG17_SCALES, FIG17_SPLITS
+    from repro.workloads.profiles import WORKLOAD_NAMES
+    return {
+        "workloads": WORKLOAD_NAMES,
+        "btb_sizes": BTB_SWEEP,
+        "fig17_splits": FIG17_SPLITS,
+        "fig17_scales": FIG17_SCALES,
+        "max_paths_limits": (1, 2, 4, 6, 12, 64),
+    }
+
+
+@pytest.fixture(scope="session")
+def save_render():
+    """Persist each exhibit's rendering under bench_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, render: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(render + "\n")
+        print(f"\n{render}\n[saved to {path}]")
+
+    return save

@@ -1,0 +1,43 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* Valid Index policy (Section 3.2.2): the paper found First Index best.
+* Valid-path cutoff (Section 3.2.2): the paper discards lines with more
+  than six valid paths.
+* SBB replacement (Section 4.3): retired-first vs plain LRU.
+"""
+
+from repro.harness import experiments
+
+
+def test_ablation_index_policy(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.ablation_index_policy,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("ablation_index_policy", result["render"])
+    data = result["data"]
+    assert all(value > 0 for value in data.values())
+    # First index is at least competitive with the alternatives.
+    assert data["first"] >= max(data.values()) - 0.01
+
+
+def test_ablation_max_paths(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.ablation_max_paths,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"],
+                    limits=sweep_params["max_paths_limits"]),
+        rounds=1, iterations=1)
+    save_render("ablation_max_paths", result["render"])
+    data = result["data"]
+    # Over-strict cutoffs forfeit head coverage: the paper's 6 beats 1.
+    assert data[6] >= data[1] - 0.005
+
+
+def test_ablation_retired_bit(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.ablation_retired_bit,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("ablation_retired_bit", result["render"])
+    data = result["data"]
+    assert data["retired-first"] >= data["plain LRU"] - 0.005

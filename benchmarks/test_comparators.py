@@ -1,0 +1,41 @@
+"""Section 7.1 measured: Skia vs Confluence-like vs Boomerang-like.
+
+The paper argues qualitatively that prior hardware schemes miss cold
+shadow branches (AirBTB only retains executed branches while their lines
+are resident; Boomerang's predecode cannot see bytes before the entry
+point of a variable-length line).  This benchmark quantifies the
+argument on the same substrate and workloads.
+"""
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.harness.reporting import format_table, geomean_speedup, pct
+
+
+def test_comparators(benchmark, runner, sweep_params, save_render):
+    base = FrontEndConfig()
+    configs = {
+        "AirBTB-lite": base.with_comparator("airbtb"),
+        "Boomerang-lite": base.with_comparator("boomerang"),
+        "Skia": base.with_skia(SkiaConfig()),
+    }
+
+    def run():
+        gains = {}
+        for name, config in configs.items():
+            ratios = []
+            for workload in sweep_params["workloads"]:
+                ratios.append(runner.run(workload, config).ipc
+                              / runner.run(workload, base).ipc)
+            gains[name] = geomean_speedup(ratios)
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, pct(value)] for name, value in gains.items()]
+    render = format_table(
+        ["mechanism", "geomean gain"], rows,
+        title=("Section 7.1 comparators: Skia vs prior hardware schemes "
+               "(paper: prior schemes miss cold shadow branches)"))
+    save_render("comparators", render)
+
+    assert gains["Skia"] >= gains["AirBTB-lite"]
+    assert gains["Skia"] >= gains["Boomerang-lite"] * 0.98

@@ -1,0 +1,136 @@
+"""Component micro-benchmarks: throughput of the building blocks.
+
+These are conventional pytest-benchmark timings (ops/sec) rather than
+paper exhibits; they guard against performance regressions in the hot
+paths that dominate experiment runtime.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sbb import ShadowBranchBuffer
+from repro.core.sbd import ShadowBranchDecoder
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.frontend.engine import FrontEndSimulator
+from repro.frontend.predictor import ITTageLite, TageLite
+from repro.isa.decoder import decode_at
+from repro.isa.encoder import Encoder
+from repro.workloads.codegen import ProgramGenerator
+from repro.workloads.trace import TraceGenerator
+from tests.conftest import MICRO_PROFILE
+
+
+@pytest.fixture(scope="module")
+def program():
+    return ProgramGenerator(MICRO_PROFILE, seed=7).generate()
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return TraceGenerator(program, seed=7).records(6_000)
+
+
+def test_decode_throughput(benchmark, program):
+    image = program.image
+    offsets = list(range(0, min(len(image), 4096)))
+
+    def decode_window():
+        for offset in offsets:
+            decode_at(image, offset)
+
+    benchmark(decode_window)
+
+
+def test_encoder_throughput(benchmark):
+    encoder = Encoder()
+    rng = random.Random(0)
+
+    def encode_batch():
+        for length in (1, 2, 3, 4, 5, 6, 7, 8):
+            for _ in range(50):
+                encoder.filler(rng, length)
+
+    benchmark(encode_batch)
+
+
+def test_tage_throughput(benchmark):
+    tage = TageLite()
+    rng = random.Random(0)
+    stream = [(rng.randrange(1 << 20) * 2, rng.random() < 0.8)
+              for _ in range(2_000)]
+
+    def run():
+        for pc, taken in stream:
+            tage.update(pc, taken)
+
+    benchmark(run)
+
+
+def test_ittage_throughput(benchmark):
+    ittage = ITTageLite()
+    rng = random.Random(0)
+    stream = [(0x1000, rng.randrange(64) * 0x40) for _ in range(2_000)]
+
+    def run():
+        for pc, target in stream:
+            ittage.update(pc, target)
+
+    benchmark(run)
+
+
+def test_sbb_insert_lookup_throughput(benchmark):
+    sbb = ShadowBranchBuffer(SkiaConfig())
+    pcs = [0x400000 + offset * 7 for offset in range(2_000)]
+
+    def run():
+        for pc in pcs:
+            sbb.insert_unconditional(pc, pc + 64)
+            sbb.lookup(pc)
+
+    benchmark(run)
+
+
+def test_sbd_head_decode_throughput(benchmark, program):
+    sbd = ShadowBranchDecoder(program.image, program.base_address,
+                              SkiaConfig())
+    entries = [program.base_address + line * 64 + offset
+               for line in range(0, 40)
+               for offset in (7, 23, 41)]
+
+    def run():
+        sbd._head_memo.clear()
+        for entry in entries:
+            sbd.decode_head(entry)
+
+    benchmark(run)
+
+
+def test_sbd_tail_decode_throughput(benchmark, program):
+    sbd = ShadowBranchDecoder(program.image, program.base_address,
+                              SkiaConfig())
+    exits = [program.base_address + line * 64 + offset
+             for line in range(0, 40)
+             for offset in (5, 19, 47)]
+
+    def run():
+        sbd._tail_memo.clear()
+        for exit_pc in exits:
+            sbd.decode_tail(exit_pc)
+
+    benchmark(run)
+
+
+def test_engine_blocks_per_second(benchmark, program, trace):
+    def run():
+        FrontEndSimulator(program, FrontEndConfig()).run(trace)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_engine_with_skia_blocks_per_second(benchmark, program, trace):
+    def run():
+        FrontEndSimulator(program,
+                          FrontEndConfig(skia=SkiaConfig())).run(trace)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

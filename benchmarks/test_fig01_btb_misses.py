@@ -1,0 +1,23 @@
+"""Figure 1: BTB miss MPKI vs BTB size, split by L1-I residency.
+
+Paper claim: at an 8K-entry BTB, ~75% of BTB-missing branches are in
+lines already resident in the L1-I.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig1_btb_misses(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig1_btb_miss_l1i_hit,
+        kwargs=dict(runner=runner, btb_sizes=sweep_params["btb_sizes"],
+                    workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig01_btb_misses", result["render"])
+
+    data = result["data"]
+    sizes = sorted(data)
+    # Shape: bigger BTBs miss less; a large share of misses is L1-resident.
+    for smaller, larger in zip(sizes, sizes[1:]):
+        assert data[larger]["total_mpki"] <= data[smaller]["total_mpki"]
+    assert data[8192]["l1i_hit_fraction"] > 0.5

@@ -1,0 +1,24 @@
+"""Figure 3: geomean speedup vs BTB size for four configurations.
+
+Paper shape: BTB+SBB consistently outgains BTB+12.25KB-of-BTB-state
+(~2x) at every size until saturation, with the infinite BTB as the
+ceiling.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig3_speedup_vs_btb(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig3_speedup_vs_btb_size,
+        kwargs=dict(runner=runner, btb_sizes=sweep_params["btb_sizes"],
+                    workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig03_speedup_vs_btb", result["render"])
+
+    data = result["data"]
+    for entries in sweep_params["btb_sizes"]:
+        # Skia on top of a BTB beats handing the SBB budget to the BTB.
+        assert data["btb_plus_sbb"][entries] >= data["btb_plus_state"][entries]
+        # ... and never loses to the plain BTB.
+        assert data["btb_plus_sbb"][entries] >= data["btb"][entries]

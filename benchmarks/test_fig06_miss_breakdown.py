@@ -1,0 +1,27 @@
+"""Figure 6: BTB misses by branch type at the 8K-entry BTB.
+
+Paper shape: indirect branches are a vanishingly small share of misses
+everywhere; kafka is conditional-dominated; voter/sibench are
+call/return heavy.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig6_miss_breakdown(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig6_miss_breakdown,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig06_miss_breakdown", result["render"])
+
+    data = result["data"]
+    for workload, breakdown in data.items():
+        indirect = (breakdown["IndirectUnCond"] + breakdown["IndirectCall"])
+        assert indirect < 0.25, workload
+    if "kafka" in data:
+        assert data["kafka"]["DirectCond"] > 0.5
+    if "voter" in data:
+        eligible = (data["voter"]["DirectUnCond"] + data["voter"]["Call"]
+                    + data["voter"]["Return"])
+        assert eligible > 0.5

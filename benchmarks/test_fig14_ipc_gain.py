@@ -1,0 +1,29 @@
+"""Figure 14 + Section 6.1 headline numbers: IPC gain per benchmark for
+head-only, tail-only and combined shadow decoding.
+
+Paper shape: both > tail-only > head-only in geomean (5.64% / 4.39% /
+3.68%); voter and sibench the largest gains; kafka, finagle-chirper and
+speedometer2.0 the smallest.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig14_ipc_gain(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig14_ipc_gain,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig14_ipc_gain", result["render"])
+
+    geo = result["geomean"]
+    assert geo["both"] > 0
+    assert geo["both"] >= geo["tail"] * 0.98
+    assert geo["both"] >= geo["head"] * 0.98
+    assert geo["tail"] >= geo["head"] * 0.9  # tail-only carries most benefit
+
+    both = result["data"]["both"]
+    if "voter" in both and "kafka" in both:
+        assert both["voter"] > both["kafka"]
+    if "sibench" in both and "finagle-chirper" in both:
+        assert both["sibench"] > both["finagle-chirper"]

@@ -1,0 +1,22 @@
+"""Figure 15: per-benchmark BTB misses whose lines are L1-I resident."""
+
+from repro.harness import experiments
+
+
+def test_fig15_btb_miss_l1i_hit(benchmark, runner, sweep_params,
+                                save_render):
+    result = benchmark.pedantic(
+        experiments.fig15_btb_miss_l1i_hit,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig15_btbmiss_l1ihit", result["render"])
+
+    data = result["data"]
+    fractions = [entry["fraction"] for entry in data.values()]
+    # The paper's central observation: the majority of BTB-missing
+    # branches sit on L1-I-resident lines.
+    average = sum(fractions) / len(fractions)
+    assert average > 0.6
+    # kafka shows an especially high resident fraction (Section 6.1.2).
+    if "kafka" in data and "voter" in data:
+        assert data["kafka"]["fraction"] >= data["voter"]["fraction"]

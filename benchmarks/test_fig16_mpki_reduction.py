@@ -1,0 +1,21 @@
+"""Figure 16: effective BTB miss MPKI -- baseline vs BTB+12.25KB vs Skia.
+
+Paper claim: Skia reduces average BTB MPKI ~115% (i.e. >2x) versus ~35%
+for handing the same budget to the BTB.  Shape assertion: Skia's
+reduction is larger than the ISO-budget BTB's.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig16_mpki_reduction(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig16_mpki_reduction,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig16_mpki_reduction", result["render"])
+
+    summary = result["summary"]
+    assert summary["skia_reduction"] > summary["btb_plus_state_reduction"]
+    for entry in result["data"].values():
+        assert entry["skia"] <= entry["baseline"]

@@ -1,0 +1,31 @@
+"""Figure 17: SBB sensitivity.
+
+Top: U-SBB/R-SBB entry split at a constant ~12.25KB (paper's chosen
+split is 768U/2024R).  Bottom: total SBB capacity scaling at the default
+U:R ratio -- gains grow with capacity until saturation.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig17_sbb_sensitivity(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig17_sbb_sensitivity,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"],
+                    splits=sweep_params["fig17_splits"],
+                    scales=sweep_params["fig17_scales"]),
+        rounds=1, iterations=1)
+    save_render("fig17_sbb_sensitivity", result["render"])
+
+    splits = result["splits"]
+    # A mixed split beats both degenerate extremes when they are present.
+    if (0, 5016) in splits and (1284, 8) in splits:
+        best_mixed = max(value for (u, _), value in splits.items()
+                         if 0 < u < 1284)
+        assert best_mixed >= splits[(0, 5016)]
+        assert best_mixed >= splits[(1284, 8)]
+
+    scales = result["scales"]
+    ordered = sorted(scales)
+    # More capacity never hurts much; the large end outgains the small end.
+    assert scales[ordered[-1]] >= scales[ordered[0]]

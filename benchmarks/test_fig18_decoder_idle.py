@@ -1,0 +1,21 @@
+"""Figure 18: decoder idle-cycle reduction from Skia.
+
+Paper shape: positive reductions across the suite, largest for the
+call/return-heavy voter and sibench.
+"""
+
+from repro.harness import experiments
+
+
+def test_fig18_decoder_idle(benchmark, runner, sweep_params, save_render):
+    result = benchmark.pedantic(
+        experiments.fig18_decoder_idle,
+        kwargs=dict(runner=runner, workloads=sweep_params["workloads"]),
+        rounds=1, iterations=1)
+    save_render("fig18_decoder_idle", result["render"])
+
+    data = result["data"]
+    positive = sum(reduction > 0 for reduction in data.values())
+    assert positive >= len(data) * 0.7
+    if "voter" in data and "kafka" in data:
+        assert data["voter"] > data["kafka"]

@@ -1,0 +1,22 @@
+"""Tables 1 and 2: configuration and benchmark listings."""
+
+from repro.harness import experiments
+
+
+def test_table1_config(benchmark, save_render):
+    result = benchmark.pedantic(experiments.table1_config,
+                                rounds=1, iterations=1)
+    save_render("table1_config", result["render"])
+    render = result["render"]
+    assert "8K-entry/78KB" in render
+    assert "7.3125KB" in render
+    assert "24 entries" in render
+
+
+def test_table2_benchmarks(benchmark, save_render):
+    result = benchmark.pedantic(experiments.table2_benchmarks,
+                                rounds=1, iterations=1)
+    save_render("table2_benchmarks", result["render"])
+    suites = result["suites"]
+    assert set(suites) == {"DaCapo", "Renaissance", "OLTPBench",
+                           "Chipyard", "BrowserBench"}

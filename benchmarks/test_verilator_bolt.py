@@ -1,0 +1,20 @@
+"""Section 6.1.4: Verilator bolted vs pre-bolt.
+
+Paper shape: the un-bolted binary has significantly more BTB misses and
+a larger Skia gain (10.27% pre-bolt); Skia still helps after BOLT.
+"""
+
+from repro.harness import experiments
+
+
+def test_verilator_bolt(benchmark, runner, save_render):
+    result = benchmark.pedantic(
+        experiments.verilator_bolt_comparison,
+        kwargs=dict(runner=runner),
+        rounds=1, iterations=1)
+    save_render("verilator_bolt", result["render"])
+
+    data = result["data"]
+    assert data["prebolt"]["btb_miss_mpki"] > data["bolted"]["btb_miss_mpki"]
+    assert data["prebolt"]["gain"] > data["bolted"]["gain"]
+    assert data["bolted"]["gain"] > 0  # robust to software layout fixes

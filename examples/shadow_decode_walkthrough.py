@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Walk through Skia's head-decoding algorithm on real bytes.
+
+Reproduces the paper's Figure 9 narrative on a line from a generated
+program: pick a cache line that a branch enters mid-way, print the head
+shadow region's bytes, the Index Computation Length vector, every
+validated path, and the shadow branches the chosen path yields.
+
+Run:
+    python examples/shadow_decode_walkthrough.py
+"""
+
+from repro.core.sbd import ShadowBranchDecoder
+from repro.frontend.config import SkiaConfig
+from repro.isa.branch import BranchKind
+from repro.workloads import build_program
+from repro.workloads.program import LINE_SIZE, line_of
+
+
+def find_interesting_entry(program):
+    """A branch target mid-line whose head region contains a shadow
+    branch -- scan real taken-branch targets."""
+    decoder_config = SkiaConfig()
+    sbd = ShadowBranchDecoder(program.image, program.base_address,
+                              decoder_config)
+    for block in program.iter_blocks():
+        terminator = block.terminator
+        if terminator.target_label is None:
+            continue
+        target = program.block(terminator.target_label).start_pc
+        if target % LINE_SIZE == 0:
+            continue
+        result = sbd.decode_head(target)
+        if result.branches and result.valid_paths >= 2:
+            return target, result
+    raise SystemExit("no multi-path head region found (unexpected)")
+
+
+def main() -> None:
+    program = build_program("tpcc")
+    print(program.describe())
+    entry_pc, result = find_interesting_entry(program)
+
+    line = line_of(entry_pc)
+    entry_offset = entry_pc - line
+    region = program.bytes_at(line, entry_offset)
+    print(f"\nFTQ entry point {entry_pc:#x} = line {line:#x} + offset "
+          f"{entry_offset}")
+    print(f"head shadow region ({entry_offset} bytes): {region.hex(' ')}")
+
+    # Phase 1: Index Computation (the Length vector of Figure 9).
+    sbd = ShadowBranchDecoder(program.image, program.base_address,
+                              SkiaConfig())
+    image_base = line - program.base_address
+    lengths = sbd._index_computation(image_base, entry_offset)
+    print(f"\nIndex Computation -> Length vector: {lengths}")
+    print("  (0 means no valid instruction starts at that byte)")
+
+    # Phase 2: Path Validation.
+    valid_starts = sbd._path_validation(lengths, entry_offset)
+    print(f"\nPath Validation -> {len(valid_starts)} valid path(s), "
+          f"starting at offsets {valid_starts}")
+    for start in valid_starts:
+        path = [start]
+        position = start
+        while position < entry_offset:
+            position += lengths[position]
+            path.append(position)
+        print(f"  path from {start}: {' -> '.join(map(str, path))}")
+
+    print(f"\nchosen start (First Index policy): {result.chosen_start}")
+    print("shadow branches inserted into the SBB:")
+    for branch in result.branches:
+        where = "U-SBB" if branch.kind is not BranchKind.RETURN else "R-SBB"
+        target = f" target={branch.target:#x}" if branch.target else ""
+        truth = ("true" if program.is_instruction_start(branch.pc)
+                 else "BOGUS")
+        print(f"  {branch.pc:#x}: {branch.kind.value}{target} "
+              f"-> {where}  [{truth} instruction boundary]")
+
+
+if __name__ == "__main__":
+    main()

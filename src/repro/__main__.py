@@ -1,0 +1,14 @@
+"""``python -m repro`` entry point."""
+
+import signal
+import sys
+
+from repro.cli import main
+
+# Behave like a well-mannered CLI when piped into `head` etc.
+try:
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+    pass
+
+sys.exit(main())

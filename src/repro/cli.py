@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``    -- baseline vs Skia on one workload (quickstart in a CLI).
+``experiment`` -- regenerate one paper exhibit by name (fig1..fig18,
+                  table1, table2, bolt, bogus, ablations).
+``workloads``  -- list the calibrated workload profiles.
+``describe``   -- generate a workload and print its static structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import quick_compare
+from repro.harness import experiments
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scale import SCALES, current_scale
+from repro.workloads.cache import build_program
+from repro.workloads.profiles import PROFILES, WORKLOAD_NAMES
+
+#: Exhibit name -> experiment callable taking (runner).
+EXPERIMENTS = {
+    "fig1": experiments.fig1_btb_miss_l1i_hit,
+    "fig3": experiments.fig3_speedup_vs_btb_size,
+    "fig6": experiments.fig6_miss_breakdown,
+    "fig13": experiments.fig13_l1i_mpki,
+    "fig14": experiments.fig14_ipc_gain,
+    "fig15": experiments.fig15_btb_miss_l1i_hit,
+    "fig16": experiments.fig16_mpki_reduction,
+    "fig17": experiments.fig17_sbb_sensitivity,
+    "fig18": experiments.fig18_decoder_idle,
+    "bolt": experiments.verilator_bolt_comparison,
+    "bogus": experiments.bogus_rate_audit,
+    "ablation-index": experiments.ablation_index_policy,
+    "ablation-paths": experiments.ablation_max_paths,
+    "ablation-retired": experiments.ablation_retired_bit,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skia (ASPLOS 2025) reproduction command line")
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        help="trace scale (overrides REPRO_SCALE)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare",
+                             help="baseline vs Skia on one workload")
+    compare.add_argument("workload", nargs="?", default="voter",
+                         choices=sorted(WORKLOAD_NAMES))
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper exhibit")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--workloads", nargs="*", default=None,
+                            help="restrict to these workloads")
+
+    sub.add_parser("workloads", help="list workload profiles")
+
+    describe = sub.add_parser("describe",
+                              help="print a workload's static structure")
+    describe.add_argument("workload", choices=sorted(PROFILES))
+
+    tables = sub.add_parser("table", help="print a configuration table")
+    tables.add_argument("which", choices=["1", "2"])
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from saved exhibits")
+    report.add_argument("--results", default="benchmarks/bench_results")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+
+    trace = sub.add_parser("trace", help="dump or inspect binary traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    dump = trace_sub.add_parser("dump", help="generate and save a trace")
+    dump.add_argument("workload", choices=sorted(PROFILES))
+    dump.add_argument("path")
+    dump.add_argument("--records", type=int, default=None,
+                      help="record count (default: scale's records)")
+    info = trace_sub.add_parser("info", help="summarise a trace file")
+    info.add_argument("path")
+    return parser
+
+
+def _run_compare(args) -> int:
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    result = quick_compare(args.workload, records=scale.records,
+                           warmup=scale.warmup)
+    print(result.render())
+    return 0
+
+
+def _run_experiment(args) -> int:
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    runner = ExperimentRunner(scale=scale)
+    function = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.workloads:
+        kwargs["workloads"] = args.workloads
+    result = function(runner, **kwargs)
+    print(result["render"])
+    return 0
+
+
+def _run_workloads() -> int:
+    for name in WORKLOAD_NAMES:
+        profile = PROFILES[name]
+        expected = profile.expected
+        print(f"{name:18s} {profile.suite:12s} "
+              f"paper gain {expected.ipc_gain_pct:5.1f}% "
+              f"({expected.gain_class})")
+    return 0
+
+
+def _run_describe(args) -> int:
+    program = build_program(args.workload)
+    print(program.describe())
+    return 0
+
+
+def _run_table(args) -> int:
+    if args.which == "1":
+        print(experiments.table1_config()["render"])
+    else:
+        print(experiments.table2_benchmarks()["render"])
+    return 0
+
+
+def _run_trace(args) -> int:
+    from repro.workloads.cache import build_trace
+    from repro.workloads.traceio import save_trace, trace_info
+
+    if args.trace_command == "dump":
+        scale = SCALES[args.scale] if args.scale else current_scale()
+        records = build_trace(args.workload,
+                              args.records or scale.records)
+        save_trace(records, args.path)
+        print(f"wrote {len(records)} records to {args.path}")
+        return 0
+    info = trace_info(args.path)
+    for key, value in sorted(info.items()):
+        print(f"{key}: {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "workloads":
+        return _run_workloads()
+    if args.command == "describe":
+        return _run_describe(args)
+    if args.command == "table":
+        return _run_table(args)
+    if args.command == "report":
+        from repro.harness.report import generate
+        generate(results_dir=args.results, output=args.output)
+        print(f"wrote {args.output}")
+        return 0
+    if args.command == "trace":
+        return _run_trace(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

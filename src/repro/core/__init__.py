@@ -1,0 +1,31 @@
+"""Skia: shadow branch decoding (the paper's contribution).
+
+Three pieces, mirroring Figure 11:
+
+* :class:`~repro.core.sbd.ShadowBranchDecoder` -- identifies and decodes
+  branches in the unused (shadow) bytes of cache lines entering the
+  front-end: *head* regions (line start to the FTQ entry point) via the
+  two-phase Index Computation / Path Validation algorithm of Section 3.2,
+  and *tail* regions (taken-branch exit to line end) via a linear sweep
+  (Section 3.3).
+* :class:`~repro.core.sbb.ShadowBranchBuffer` -- the U-SBB/R-SBB pair
+  that stores decoded shadow branches off the BTB's critical path, with
+  LRU + retired-bit replacement (Section 4.2/4.3).
+* :class:`~repro.core.skia.Skia` -- wires the decoder and buffer into the
+  front-end: SBD runs on FTQ-entry prefetch completion; the SBB is looked
+  up in parallel with the BTB.
+"""
+
+from repro.core.sbb import SBBEntry, SBBStructure, ShadowBranchBuffer
+from repro.core.sbd import HeadDecodeResult, ShadowBranch, ShadowBranchDecoder
+from repro.core.skia import Skia
+
+__all__ = [
+    "SBBEntry",
+    "SBBStructure",
+    "ShadowBranchBuffer",
+    "HeadDecodeResult",
+    "ShadowBranch",
+    "ShadowBranchDecoder",
+    "Skia",
+]

@@ -1,0 +1,220 @@
+"""Shadow Branch Decoder (Sections 3.1-3.4).
+
+Decodes the unused bytes of cache lines that FDIP has already brought
+into the front-end:
+
+* **Tail decoding** (Section 3.3): after a taken branch leaves a line,
+  the first shadow byte is a known instruction boundary, so a single
+  linear sweep from the branch's end to the line's end suffices.
+
+* **Head decoding** (Section 3.2): the bytes from the line start to the
+  FTQ entry point have *unknown* instruction boundaries in a variable-
+  length ISA.  The decoder runs the paper's two phases:
+
+  1. *Index Computation* -- for every byte offset in the head region,
+     record the length of the instruction that would start there (0 when
+     no valid instruction starts there), producing the ``Length`` vector
+     of Figure 9.
+  2. *Path Validation* -- walk each candidate start offset through the
+     Length vector; a path is valid iff it lands exactly on the entry
+     offset.  Lines with more than ``max_valid_paths`` valid paths are
+     discarded (too ambiguous).  Among valid paths, the *Valid Index*
+     policy picks which instructions to trust: ``FIRST`` (the first
+     offset with a valid path -- the paper's best), ``ZERO`` (offset 0
+     when valid), or ``MERGE`` (the common convergence point).
+
+Decoded direct unconditional jumps/calls and returns are handed to the
+SBB.  Results are memoised per (line, boundary) because hot lines are
+re-decoded constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.branch import BranchKind
+from repro.isa.decoder import decode_at
+from repro.frontend.config import IndexPolicy, SkiaConfig
+
+
+@dataclass(frozen=True)
+class ShadowBranch:
+    """A branch found in a shadow region."""
+
+    pc: int
+    kind: BranchKind
+    target: int | None  # None for returns
+
+
+@dataclass
+class HeadDecodeResult:
+    """Outcome of head-decoding one (line, entry_offset) pair."""
+
+    branches: list[ShadowBranch] = field(default_factory=list)
+    valid_paths: int = 0
+    discarded: bool = False
+    chosen_start: int | None = None
+    decoded_pcs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class TailDecodeResult:
+    """Outcome of tail-decoding one (line, exit_offset) pair."""
+
+    branches: list[ShadowBranch] = field(default_factory=list)
+    decoded_pcs: list[int] = field(default_factory=list)
+
+
+class ShadowBranchDecoder:
+    """Stateless-per-line decoder over a program image, with memoisation."""
+
+    def __init__(self, image: bytes, base_address: int,
+                 config: SkiaConfig, line_size: int = 64):
+        self.image = image
+        self.base_address = base_address
+        self.config = config
+        self.line_size = line_size
+        self._head_memo: dict[tuple[int, int], HeadDecodeResult] = {}
+        self._tail_memo: dict[tuple[int, int], TailDecodeResult] = {}
+
+    # ------------------------------------------------------------------
+    # Tail decoding
+    # ------------------------------------------------------------------
+
+    def decode_tail(self, exit_pc: int) -> TailDecodeResult:
+        """Decode from ``exit_pc`` (first byte after a taken branch) to
+        the end of the branch's cache line.
+
+        The branch's last byte is at ``exit_pc - 1``; the shadow region is
+        the rest of that line.  Empty when the branch ends the line.
+        """
+        last_line = (exit_pc - 1) & ~(self.line_size - 1)
+        line_end = last_line + self.line_size
+        if exit_pc >= line_end:
+            return TailDecodeResult()
+        key = (last_line, exit_pc - last_line)
+        memo = self._tail_memo.get(key)
+        if memo is None:
+            memo = self._sweep(exit_pc, line_end)
+            self._tail_memo[key] = memo
+        return memo
+
+    def _sweep(self, start_pc: int, limit_pc: int) -> TailDecodeResult:
+        result = TailDecodeResult()
+        offset = start_pc - self.base_address
+        limit = limit_pc - self.base_address
+        if offset < 0 or offset >= len(self.image):
+            return result
+        while offset < limit:
+            decoded = decode_at(self.image, offset,
+                                pc=self.base_address + offset, limit=limit)
+            if decoded is None:
+                break
+            result.decoded_pcs.append(decoded.pc)
+            if decoded.kind.sbb_eligible:
+                result.branches.append(ShadowBranch(
+                    pc=decoded.pc, kind=decoded.kind, target=decoded.target))
+            offset += decoded.length
+        return result
+
+    # ------------------------------------------------------------------
+    # Head decoding
+    # ------------------------------------------------------------------
+
+    def decode_head(self, entry_pc: int) -> HeadDecodeResult:
+        """Decode the head shadow region of ``entry_pc``'s cache line.
+
+        ``entry_pc`` is the FTQ entry point (a branch target); the shadow
+        region is from the line start up to (excluding) ``entry_pc``.
+        """
+        line = entry_pc & ~(self.line_size - 1)
+        entry_offset = entry_pc - line
+        if entry_offset == 0:
+            return HeadDecodeResult()
+        key = (line, entry_offset)
+        memo = self._head_memo.get(key)
+        if memo is None:
+            memo = self._decode_head_region(line, entry_offset)
+            self._head_memo[key] = memo
+        return memo
+
+    def _decode_head_region(self, line: int, entry_offset: int) -> HeadDecodeResult:
+        image_base = line - self.base_address
+        if image_base < 0 or image_base >= len(self.image):
+            return HeadDecodeResult()
+
+        lengths = self._index_computation(image_base, entry_offset)
+        valid_starts = self._path_validation(lengths, entry_offset)
+
+        result = HeadDecodeResult(valid_paths=len(valid_starts))
+        if not valid_starts:
+            return result
+        if len(valid_starts) > self.config.max_valid_paths:
+            result.discarded = True
+            return result
+
+        start = self._choose_start(valid_starts, lengths, entry_offset)
+        result.chosen_start = start
+
+        # Walk the chosen path and collect eligible branches.
+        offset = start
+        while offset < entry_offset:
+            decoded = decode_at(
+                self.image, image_base + offset,
+                pc=line + offset, limit=image_base + entry_offset)
+            if decoded is None:  # pragma: no cover - path was validated
+                break
+            result.decoded_pcs.append(decoded.pc)
+            if decoded.kind.sbb_eligible:
+                result.branches.append(ShadowBranch(
+                    pc=decoded.pc, kind=decoded.kind, target=decoded.target))
+            offset += decoded.length
+        return result
+
+    def _index_computation(self, image_base: int,
+                           entry_offset: int) -> list[int]:
+        """Phase 1: the Length vector (0 = no valid instruction here)."""
+        limit = image_base + entry_offset
+        lengths = []
+        for offset in range(entry_offset):
+            decoded = decode_at(self.image, image_base + offset, limit=limit)
+            lengths.append(0 if decoded is None else decoded.length)
+        return lengths
+
+    def _path_validation(self, lengths: list[int],
+                         entry_offset: int) -> list[int]:
+        """Phase 2: start offsets whose paths land exactly on the entry.
+
+        Memoised right-to-left: ``reaches[p]`` is True when a walk from
+        position ``p`` aligns with the entry offset, so validating all
+        starts is O(region length).
+        """
+        reaches = [False] * (entry_offset + 1)
+        reaches[entry_offset] = True
+        for position in range(entry_offset - 1, -1, -1):
+            length = lengths[position]
+            if length and position + length <= entry_offset:
+                reaches[position] = reaches[position + length]
+        return [start for start in range(entry_offset) if reaches[start]]
+
+    def _choose_start(self, valid_starts: list[int], lengths: list[int],
+                      entry_offset: int) -> int:
+        policy = self.config.index_policy
+        if policy is IndexPolicy.ZERO:
+            return 0 if valid_starts[0] == 0 else valid_starts[0]
+        if policy is IndexPolicy.MERGE:
+            return self._merge_index(valid_starts, lengths, entry_offset)
+        return valid_starts[0]  # FIRST
+
+    def _merge_index(self, valid_starts: list[int], lengths: list[int],
+                     entry_offset: int) -> int:
+        """The most common recent position among all valid paths."""
+        visit_counts: dict[int, int] = {}
+        for start in valid_starts:
+            position = start
+            while position < entry_offset:
+                visit_counts[position] = visit_counts.get(position, 0) + 1
+                position += lengths[position]
+        # Most shared; ties broken toward the most recent (largest) index.
+        best = max(visit_counts.items(), key=lambda item: (item[1], item[0]))
+        return best[0]

@@ -1,0 +1,323 @@
+"""Branch Prediction Unit.
+
+Combines the BTB, the TAGE-lite conditional predictor, the ITTAGE-lite
+indirect predictor, the return address stack, and (when Skia is enabled)
+the parallel SBB lookup.  For each executed branch it determines how the
+decoupled front-end would have speculated and, if wrongly, at which stage
+the wrong path is detected:
+
+* ``resteer=None``     -- speculation was correct; no bubble.
+* ``resteer="decode"`` -- the decoder detects the problem (early resteer,
+  Figure 7): an undetected *direct* branch whose target is computable at
+  decode, an undetected return (RAS read at decode), a decode-time
+  direction/target redirect, or a stale/aliased BTB target.
+* ``resteer="exec"``   -- only execution can detect it: a wrong
+  conditional direction or a wrong indirect/return target.
+
+The BPU also *trains* all structures in commit order, which for a
+sequential trace replay is equivalent to gem5's squash-and-repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.skia import Skia
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.predictor import ITTageLite, LoopPredictor, TageLite
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.stats import SimStats
+from repro.isa.branch import BranchKind
+from repro.workloads.trace import BlockRecord
+
+
+@dataclass
+class Prediction:
+    """How the front-end speculated on one branch."""
+
+    btb_hit: bool
+    sbb_hit: str | None       # "u" | "r" | None
+    resteer: str | None       # None | "decode" | "exec"
+    used_sbb: bool            # SBB supplied the correct next fetch address
+    wrong_path_pc: int | None  # where wrong-path fetch streamed from
+
+
+class BranchPredictionUnit:
+    """The IAG's prediction stack (Figure 4), plus the optional SBB."""
+
+    def __init__(self, config: FrontEndConfig, skia: Skia | None = None,
+                 seed: int = 0, comparator=None):
+        self.config = config
+        self.btb = BranchTargetBuffer(
+            entries=config.btb_entries, assoc=config.btb_assoc,
+            tag_bits=config.btb_tag_bits, entry_bits=config.btb_entry_bits,
+            infinite=config.btb_infinite)
+        self.tage = TageLite(
+            table_bits=config.tage_table_bits, tag_bits=config.tage_tag_bits,
+            history_lengths=config.tage_history_lengths, seed=seed)
+        self.ittage = ITTageLite(table_bits=config.ittage_table_bits)
+        self.loop: LoopPredictor | None = None
+        if config.use_loop_predictor:
+            self.loop = LoopPredictor(entries=config.loop_predictor_entries)
+        self.ras = ReturnAddressStack(depth=config.ras_depth)
+        self.skia = skia
+        # Optional Section 7.1 baseline (AirBTBLite or BoomerangLite),
+        # probed in parallel with the BTB like the SBB.
+        self.comparator = comparator
+
+    # ------------------------------------------------------------------
+
+    def process(self, record: BlockRecord, branch_line_in_l1i: bool,
+                stats: SimStats | None) -> Prediction:
+        """Predict + train for one executed branch.
+
+        ``branch_line_in_l1i`` is the L1-I residency of the branch's own
+        line at lookup time (before this block's prefetch), feeding the
+        paper's Figure 1/15 metric.
+        """
+        pc = record.branch_pc
+        kind = record.kind
+
+        entry = self.btb.lookup(pc)
+        btb_hit = entry is not None
+        comparator_entry = None
+        sbb_result = None
+        if not btb_hit:
+            if self.comparator is not None:
+                comparator_entry = self._comparator_lookup(
+                    pc, branch_line_in_l1i)
+            if comparator_entry is None and self.skia is not None:
+                sbb_result = self.skia.lookup(pc)
+
+        if stats is not None:
+            stats.btb_lookups += 1
+            stats.branches[kind] += 1
+            if record.taken:
+                stats.taken_branches += 1
+            if not btb_hit:
+                stats.btb_misses[kind] += 1
+                if branch_line_in_l1i:
+                    stats.btb_miss_l1i_hit += 1
+                if comparator_entry is not None:
+                    stats.comparator_hits += 1
+
+        if btb_hit:
+            prediction = self._process_btb_hit(record, entry, stats)
+        elif comparator_entry is not None:
+            # A comparator hit behaves like a BTB hit (it supplies kind
+            # and target), except btb_hit stays False for miss stats.
+            prediction = self._process_btb_hit(record, comparator_entry,
+                                               stats)
+            prediction = Prediction(False, None, prediction.resteer, False,
+                                    prediction.wrong_path_pc)
+        elif sbb_result is not None:
+            prediction = self._process_sbb_hit(record, sbb_result, stats)
+        else:
+            if (self.comparator is not None
+                    and hasattr(self.comparator, "on_btb_miss")):
+                self.comparator.on_btb_miss(record.block_start)
+            prediction = self._process_undetected(record, stats)
+
+        self._commit_updates(record, prediction, stats)
+        return prediction
+
+    def _comparator_lookup(self, pc: int, branch_line_in_l1i: bool):
+        """Probe the Section 7.1 baseline; AirBTB needs L1-I residency."""
+        return self.comparator.lookup(pc, branch_line_in_l1i)
+
+    # ------------------------------------------------------------------
+    # Case: BTB hit (possibly a partial-tag alias)
+    # ------------------------------------------------------------------
+
+    def _process_btb_hit(self, record: BlockRecord, entry,
+                         stats: SimStats | None) -> Prediction:
+        pc, kind = record.branch_pc, record.kind
+        if entry.kind is not kind:
+            # Partial-tag alias: the BPU acted on another branch's entry.
+            # The decoder notices the mismatch (wrong type/target) and
+            # repairs early.
+            if stats is not None:
+                stats.btb_false_hits += 1
+            self._train_side_predictors(record, stats)
+            resteer = "decode" if record.taken else None
+            return Prediction(True, None, resteer, False,
+                              record.fallthrough if record.taken else None)
+
+        if kind is BranchKind.DIRECT_COND:
+            predicted_taken = self._predict_cond(pc, record.taken, stats)
+            if predicted_taken == record.taken:
+                return Prediction(True, None, None, False, None)
+            wrong = record.target if not record.taken else record.fallthrough
+            return Prediction(True, None, "exec", False, wrong)
+
+        if kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL):
+            if entry.target == record.target:
+                return Prediction(True, None, None, False, None)
+            # Stale or aliased target; the decoder recomputes it.
+            return Prediction(True, None, "decode", False, record.fallthrough)
+
+        if kind is BranchKind.RETURN:
+            correct = self._predict_return(record, stats)
+            resteer = None if correct else "exec"
+            return Prediction(True, None, resteer, False,
+                              None if correct else record.fallthrough)
+
+        # Indirect jump/call: the BTB entry flags the branch; ITTAGE
+        # provides the target.
+        correct = self._predict_indirect(record, stats)
+        resteer = None if correct else "exec"
+        return Prediction(True, None, resteer, False,
+                          None if correct else record.fallthrough)
+
+    # ------------------------------------------------------------------
+    # Case: BTB miss, SBB hit (Skia's contribution)
+    # ------------------------------------------------------------------
+
+    def _process_sbb_hit(self, record: BlockRecord, sbb_result,
+                         stats: SimStats | None) -> Prediction:
+        pc, kind = record.branch_pc, record.kind
+        which, entry = sbb_result
+        if stats is not None:
+            if which == "u":
+                stats.sbb_hits_u += 1
+            else:
+                stats.sbb_hits_r += 1
+
+        if which == "u":
+            if (kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL)
+                    and entry.payload == record.target):
+                # FDIP speculated through the BTB miss: the whole point.
+                return Prediction(False, "u", None, True, None)
+            # Bogus or aliased entry steered FDIP wrong; decode repairs.
+            if stats is not None:
+                stats.sbb_wrong_target += 1
+            self._train_side_predictors(record, stats)
+            return Prediction(False, "u", "decode", False, record.fallthrough)
+
+        # R-SBB: claims "a return lives at pc"; the RAS provides the target.
+        if kind is BranchKind.RETURN:
+            correct = self._predict_return(record, stats)
+            if correct:
+                return Prediction(False, "r", None, True, None)
+            return Prediction(False, "r", "exec", False, record.fallthrough)
+        if stats is not None:
+            stats.sbb_wrong_target += 1
+        self._train_side_predictors(record, stats)
+        return Prediction(False, "r", "decode", False, record.fallthrough)
+
+    # ------------------------------------------------------------------
+    # Case: branch completely unknown to the BPU
+    # ------------------------------------------------------------------
+
+    def _process_undetected(self, record: BlockRecord,
+                            stats: SimStats | None) -> Prediction:
+        """No BTB or SBB entry: FDIP streams sequentially past the branch."""
+        kind = record.kind
+
+        if kind is BranchKind.DIRECT_COND:
+            # The decoder discovers the branch and asks the direction
+            # predictor.  Correct-not-taken costs nothing (sequential was
+            # right); predicted-taken redirects at decode; an undetected
+            # taken branch resolves at execute.
+            predicted_taken = self._predict_cond(record.branch_pc,
+                                                 record.taken, stats)
+            if not record.taken:
+                # A predicted-taken decode redirect down the taken path is
+                # itself wrong here; execution brings the flow back.
+                resteer = "exec" if predicted_taken else None
+                wrong = record.target if predicted_taken else None
+                return Prediction(False, None, resteer, False, wrong)
+            if predicted_taken:
+                return Prediction(False, None, "decode", False,
+                                  record.fallthrough)
+            return Prediction(False, None, "exec", False, record.fallthrough)
+
+        if kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL):
+            # Target computable at decode: early resteer.
+            return Prediction(False, None, "decode", False, record.fallthrough)
+
+        if kind is BranchKind.RETURN:
+            correct = self._predict_return(record, stats)
+            resteer = "decode" if correct else "exec"
+            return Prediction(False, None, resteer, False, record.fallthrough)
+
+        # Indirect: discovered at decode; ITTAGE supplies a target there.
+        correct = self._predict_indirect(record, stats)
+        resteer = "decode" if correct else "exec"
+        return Prediction(False, None, resteer, False, record.fallthrough)
+
+    # ------------------------------------------------------------------
+    # Predictor helpers (each trains its structure exactly once)
+    # ------------------------------------------------------------------
+
+    def _predict_cond(self, pc: int, taken: bool,
+                      stats: SimStats | None) -> bool:
+        predicted = self.tage.update(pc, taken)
+        if self.loop is not None:
+            # A confident loop-trip prediction overrides TAGE (the L
+            # component of TAGE-SC-L).
+            loop_prediction = self.loop.predict(pc)
+            self.loop.update(pc, taken)
+            if loop_prediction is not None:
+                predicted = loop_prediction
+        if stats is not None:
+            stats.cond_predictions += 1
+            if predicted != taken:
+                stats.cond_mispredicts += 1
+        return predicted
+
+    def _predict_indirect(self, record: BlockRecord,
+                          stats: SimStats | None) -> bool:
+        predicted = self.ittage.update(record.branch_pc, record.target)
+        correct = predicted == record.target
+        if stats is not None:
+            stats.indirect_predictions += 1
+            if not correct:
+                stats.indirect_mispredicts += 1
+        return correct
+
+    def _predict_return(self, record: BlockRecord,
+                        stats: SimStats | None) -> bool:
+        predicted = self.ras.pop()
+        correct = predicted == record.target
+        if stats is not None:
+            stats.ras_predictions += 1
+            if not correct:
+                stats.ras_mispredicts += 1
+        return correct
+
+    def _train_side_predictors(self, record: BlockRecord,
+                               stats: SimStats | None) -> None:
+        """Keep predictor state consistent on bogus-redirect paths."""
+        if record.kind is BranchKind.DIRECT_COND:
+            self._predict_cond(record.branch_pc, record.taken, stats)
+        elif record.kind is BranchKind.RETURN:
+            self._predict_return(record, stats)
+        elif record.kind.is_indirect:
+            self._predict_indirect(record, stats)
+
+    # ------------------------------------------------------------------
+    # Commit-time updates
+    # ------------------------------------------------------------------
+
+    def _commit_updates(self, record: BlockRecord, prediction: Prediction,
+                        stats: SimStats | None) -> None:
+        pc, kind = record.branch_pc, record.kind
+        # The decoder inserts every decoded branch into the BTB.  Static
+        # targets for direct branches; last target for indirect; returns
+        # carry no target (the RAS provides it).
+        target = None
+        if kind.is_direct or kind.is_indirect:
+            target = record.target
+        self.btb.insert(pc, kind, target)
+
+        if kind.is_call:
+            self.ras.push(record.fallthrough)
+
+        if (self.comparator is not None
+                and hasattr(self.comparator, "record")):
+            self.comparator.record(pc, kind, target)
+
+        if prediction.used_sbb and self.skia is not None:
+            self.skia.mark_retired(pc, prediction.sbb_hit, stats)

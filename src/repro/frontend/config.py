@@ -1,0 +1,198 @@
+"""Front-end configuration (the paper's Table 1 plus pipeline penalties).
+
+Sizes follow the Alder-Lake-like (Golden Cove) baseline: 32KB/8-way L1-I,
+1MB L2, 2MB L3, 8K-entry 4-way BTB (78 bits/entry = 78KB), 24-entry FTQ,
+12-wide decode/retire.  The Skia defaults reproduce the paper's 12.25KB
+SBB: 768-entry U-SBB (78b entries = 7.3125KB) + 2024-entry R-SBB (20b
+entries ~= 4.94KB).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+
+class IndexPolicy(enum.Enum):
+    """Head-decode Valid Index selection (Section 3.2.2).
+
+    ``FIRST`` -- start inserting from the first byte index whose path
+    validates (the paper's empirically best choice and our default).
+    ``ZERO``  -- use the path starting at byte 0 when it validates, else
+    fall back to the first valid path.
+    ``MERGE`` -- start from the most common merge point of all valid
+    paths.
+    """
+
+    FIRST = "first"
+    ZERO = "zero"
+    MERGE = "merge"
+
+
+@dataclass(frozen=True)
+class SkiaConfig:
+    """Shadow branch decoding configuration."""
+
+    enabled: bool = True
+    decode_heads: bool = True
+    decode_tails: bool = True
+    index_policy: IndexPolicy = IndexPolicy.FIRST
+    max_valid_paths: int = 6
+    # Section 4.3 replacement policy: evict never-retired entries first.
+    # Exposed as a switch for the ablation benchmark.
+    use_retired_bit: bool = True
+
+    # U-SBB: direct unconditional jumps + calls. 78-bit entries (Fig 12).
+    usbb_entries: int = 768
+    usbb_assoc: int = 4
+    usbb_tag_bits: int = 10
+    usbb_entry_bits: int = 78
+
+    # R-SBB: returns. 20-bit entries (Fig 12).
+    rsbb_entries: int = 2024
+    rsbb_assoc: int = 4
+    rsbb_tag_bits: int = 10
+    rsbb_entry_bits: int = 20
+
+    @property
+    def usbb_size_bytes(self) -> float:
+        return self.usbb_entries * self.usbb_entry_bits / 8
+
+    @property
+    def rsbb_size_bytes(self) -> float:
+        return self.rsbb_entries * self.rsbb_entry_bits / 8
+
+    @property
+    def total_size_bytes(self) -> float:
+        return self.usbb_size_bytes + self.rsbb_size_bytes
+
+    @property
+    def total_size_kib(self) -> float:
+        return self.total_size_bytes / 1024
+
+    def scaled(self, factor: float) -> "SkiaConfig":
+        """Same U:R entry ratio, ``factor``x the capacity (Fig 17 bottom)."""
+        return replace(
+            self,
+            usbb_entries=max(self.usbb_assoc,
+                             int(self.usbb_entries * factor)),
+            rsbb_entries=max(self.rsbb_assoc,
+                             int(self.rsbb_entries * factor)),
+        )
+
+    @staticmethod
+    def disabled() -> "SkiaConfig":
+        return SkiaConfig(enabled=False)
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Complete simulator configuration."""
+
+    # --- BTB (Table 1: 8K-entry, 4-way, 78-bit entries = 78KB) ---------
+    btb_entries: int = 8192
+    btb_assoc: int = 4
+    btb_tag_bits: int = 10
+    btb_entry_bits: int = 78
+    btb_infinite: bool = False
+
+    # --- Caches (Table 1) ----------------------------------------------
+    line_size: int = 64
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 8
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 16
+    l3_size: int = 2 * 1024 * 1024
+    l3_assoc: int = 16
+    l2_latency: int = 14
+    l3_latency: int = 40
+    memory_latency: int = 150
+
+    # --- Predictors ------------------------------------------------------
+    tage_table_bits: int = 12
+    tage_tag_bits: int = 9
+    tage_history_lengths: tuple[int, ...] = (5, 15, 44, 130)
+    ittage_table_bits: int = 10
+    # The L of TAGE-SC-L: a fixed-trip loop termination predictor.
+    use_loop_predictor: bool = True
+    loop_predictor_entries: int = 256
+    ras_depth: int = 32
+
+    # --- Pipeline (Fig 7 timing; Golden-Cove-like depths) ---------------
+    ftq_size: int = 24
+    decode_width: int = 12
+    iag_to_fetch_delay: int = 3
+    fetch_to_decode_delay: int = 4
+    decode_repair_cycles: int = 3
+    exec_resolve_delay: int = 14
+    backend_effective_width: float = 4.0
+    pollution_max_lines: int = 8
+
+    # --- Skia -------------------------------------------------------------
+    skia: SkiaConfig = field(default_factory=SkiaConfig.disabled)
+
+    # --- Related-work comparators (Section 7.1 baselines) ---------------
+    # None | "airbtb" (Confluence-like) | "boomerang" (Boomerang-like).
+    comparator: str | None = None
+    airbtb_max_lines: int = 2048
+    airbtb_entries_per_line: int = 3
+    boomerang_buffer_entries: int = 64
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def btb_size_bytes(self) -> float:
+        return self.btb_entries * self.btb_entry_bits / 8
+
+    @property
+    def btb_size_kib(self) -> float:
+        return self.btb_size_bytes / 1024
+
+    def btb_access_latency(self) -> int:
+        """CACTI-flavoured latency model: bigger BTBs are slower.
+
+        The paper uses CACTI to approximate latency as the BTB scales
+        (Section 5.1); we reproduce the trend with a log-capacity model
+        anchored at 1 cycle for <=8K entries.
+        """
+        if self.btb_infinite:
+            return 1
+        if self.btb_entries <= 16384:
+            return 1
+        return 1 + math.ceil(math.log2(self.btb_entries / 16384) / 2)
+
+    def with_btb_entries(self, entries: int,
+                         infinite: bool = False) -> "FrontEndConfig":
+        return replace(self, btb_entries=entries, btb_infinite=infinite)
+
+    def with_skia(self, skia: SkiaConfig) -> "FrontEndConfig":
+        return replace(self, skia=skia)
+
+    def with_comparator(self, name: str | None) -> "FrontEndConfig":
+        if name not in (None, "airbtb", "boomerang"):
+            raise ValueError(f"unknown comparator {name!r}")
+        return replace(self, comparator=name)
+
+    def with_extra_btb_state(self, extra_bytes: float) -> "FrontEndConfig":
+        """Grow the BTB by ``extra_bytes`` of state (ISO-budget baseline).
+
+        Used for the paper's "BTB+12.25KB" comparison point: the SBB's
+        hardware budget handed to the BTB instead.
+        """
+        extra_entries = int(extra_bytes * 8 // self.btb_entry_bits)
+        return replace(self, btb_entries=self.btb_entries + extra_entries)
+
+
+#: Configuration presets used across benchmarks and examples.
+def baseline_config() -> FrontEndConfig:
+    """FDIP with an 8K-entry BTB and no Skia (the paper's baseline)."""
+    return FrontEndConfig()
+
+
+def skia_config(heads: bool = True, tails: bool = True) -> FrontEndConfig:
+    """Baseline plus the default 12.25KB SBB."""
+    return FrontEndConfig(skia=SkiaConfig(
+        enabled=True, decode_heads=heads, decode_tails=tails))

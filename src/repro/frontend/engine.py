@@ -1,0 +1,234 @@
+"""The front-end timing simulator.
+
+Replays a correct-path trace through the decoupled front-end, maintaining
+per-stage clocks:
+
+* **IAG** emits one FTQ entry (basic block) per cycle, backpressured by
+  FTQ occupancy; each entry immediately issues prefetches for its lines.
+* **Fetch** consumes FTQ entries in order, one cycle per line, stalling
+  until the lines' fills complete -- so FDIP runahead (IAG cycles ahead of
+  fetch) genuinely hides miss latency.
+* **Decode** consumes fetched blocks at ``decode_width``; the gap between
+  a block arriving and the previous block finishing is the decoder idle
+  time of Figure 18.
+* **Retire** drains at an effective back-end width, giving an IPC ceiling
+  (the workloads are front-end bound, matching the paper).
+
+Mispredictions restart the IAG after a repair delay whose anchor depends
+on where the wrong path is detected (decode vs execute, Figure 7), flush
+the FTQ, and stream wrong-path prefetches into the L1-I (pollution).
+
+Skia hooks in at two points: the SBB is probed by the BPU in parallel
+with the BTB, and the SBD runs when an FTQ entry's prefetch completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.skia import Skia
+from repro.frontend.bpu import BranchPredictionUnit
+from repro.frontend.caches import CacheHierarchy
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.stats import SimStats
+from repro.workloads.program import Program
+from repro.workloads.trace import BlockRecord
+
+
+class FrontEndSimulator:
+    """One simulation instance: structures + timeline state."""
+
+    def __init__(self, program: Program, config: FrontEndConfig,
+                 seed: int = 0):
+        self.program = program
+        self.config = config
+        self.hierarchy = CacheHierarchy(config)
+        self.skia: Skia | None = None
+        if config.skia.enabled:
+            self.skia = Skia(
+                image=program.image, base_address=program.base_address,
+                config=config.skia, line_size=config.line_size,
+                boundary_oracle=program.is_instruction_start)
+        comparator = self._build_comparator(program, config)
+        self.bpu = BranchPredictionUnit(config, skia=self.skia, seed=seed,
+                                        comparator=comparator)
+        self.stats = SimStats()
+
+    @staticmethod
+    def _build_comparator(program: Program, config: FrontEndConfig):
+        """Instantiate the optional Section 7.1 baseline mechanism."""
+        if config.comparator is None:
+            return None
+        from repro.frontend.comparators import AirBTBLite, BoomerangLite
+        if config.comparator == "airbtb":
+            return AirBTBLite(line_size=config.line_size,
+                              max_lines=config.airbtb_max_lines,
+                              entries_per_line=config.airbtb_entries_per_line)
+        if config.comparator == "boomerang":
+            return BoomerangLite(
+                image=program.image, base_address=program.base_address,
+                line_size=config.line_size,
+                buffer_entries=config.boomerang_buffer_entries)
+        raise ValueError(f"unknown comparator {config.comparator!r}")
+
+    # ------------------------------------------------------------------
+
+    def run(self, records: list[BlockRecord] | None = None,
+            warmup: int = 0,
+            record_iter=None) -> SimStats:
+        """Replay ``records`` (or ``record_iter``); the first ``warmup``
+        records train structures without being counted."""
+        if records is None and record_iter is None:
+            raise ValueError("provide records or record_iter")
+        stream = records if records is not None else record_iter
+
+        config = self.config
+        hierarchy = self.hierarchy
+        bpu = self.bpu
+        skia = self.skia
+        stats = self.stats
+        line_size = config.line_size
+        line_mask = ~(line_size - 1)
+
+        ftq_size = config.ftq_size
+        decode_width = config.decode_width
+        iag_to_fetch = config.iag_to_fetch_delay
+        fetch_to_decode = config.fetch_to_decode_delay
+        repair = config.decode_repair_cycles
+        btb_extra_latency = config.btb_access_latency() - 1
+        exec_resolve = config.exec_resolve_delay
+        backend_width = config.backend_effective_width
+        pollution_max = config.pollution_max_lines
+
+        iag_free = 0.0
+        fetch_free = 0.0
+        decode_free = 0.0
+        retire_free = 0.0
+        ftq_inflight: deque[float] = deque()  # fetch_done per in-flight entry
+
+        prev_taken = True  # the first block is "entered" at the entry point
+        counting = False
+        counted_instructions = 0
+        counted_blocks = 0
+        cycles_at_count_start = 0.0
+        wrong_path_fills_at_count_start = 0
+
+        for index, record in enumerate(stream):
+            if not counting and index >= warmup:
+                counting = True
+                cycles_at_count_start = retire_free
+                wrong_path_fills_at_count_start = hierarchy.wrong_path_fills
+            stats_arg = stats if counting else None
+
+            # ----- IAG: allocate the FTQ entry ------------------------
+            iag_t = iag_free
+            while ftq_inflight and ftq_inflight[0] <= iag_t:
+                ftq_inflight.popleft()
+            if len(ftq_inflight) >= ftq_size:
+                iag_t = ftq_inflight.popleft()
+
+            branch_line_present = hierarchy.line_present(record.branch_pc)
+            prediction = bpu.process(record, branch_line_present, stats_arg)
+
+            # ----- Prefetch the entry's lines -------------------------
+            block_end = record.branch_pc + record.branch_len
+            first_line = record.block_start & line_mask
+            last_line = (block_end - 1) & line_mask
+            n_lines = (last_line - first_line) // line_size + 1
+            lines_ready = iag_t
+            line = first_line
+            while line <= last_line:
+                hit, ready, level = hierarchy.access(line, iag_t)
+                if ready > lines_ready:
+                    lines_ready = ready
+                if counting:
+                    stats.l1i_accesses += 1
+                    if not hit:
+                        stats.l1i_misses += 1
+                        if level >= 3:
+                            stats.l2_misses += 1
+                        if level >= 4:
+                            stats.l3_misses += 1
+                line += line_size
+
+            # ----- Skia: shadow-decode this entry's lines --------------
+            if skia is not None:
+                exit_pc = block_end if record.taken else None
+                skia.on_ftq_entry(
+                    entry_pc=record.block_start,
+                    entered_by_taken_branch=prev_taken,
+                    exit_pc=exit_pc,
+                    line_present=hierarchy.line_present,
+                    stats=stats_arg)
+
+            # ----- Fetch ------------------------------------------------
+            fetch_start = max(fetch_free, iag_t + iag_to_fetch)
+            if lines_ready > fetch_start:
+                if counting:
+                    stats.fetch_stall_cycles += lines_ready - fetch_start
+                fetch_start = lines_ready
+            fetch_done = fetch_start + n_lines
+            fetch_free = fetch_done
+            ftq_inflight.append(fetch_done)
+
+            # ----- Decode ----------------------------------------------
+            input_ready = fetch_done + fetch_to_decode
+            decode_start = max(decode_free, input_ready)
+            if counting:
+                stats.decoder_idle_cycles += decode_start - decode_free
+            decode_done = decode_start + (
+                (record.n_instr + decode_width - 1) // decode_width)
+            decode_free = decode_done
+
+            # ----- Retire ----------------------------------------------
+            retire_start = max(retire_free, decode_done + 1)
+            retire_free = retire_start + record.n_instr / backend_width
+
+            # ----- Resteer / next-entry scheduling ---------------------
+            if prediction.resteer is None:
+                iag_free = iag_t + 1
+            else:
+                if prediction.resteer == "decode":
+                    detect = decode_done
+                    if counting:
+                        stats.decode_resteers += 1
+                else:
+                    detect = decode_done + exec_resolve
+                    if counting:
+                        stats.exec_resteers += 1
+                restart = detect + repair + btb_extra_latency
+                # Wrong-path prefetches issued between iag_t and restart
+                # pollute the L1-I with sequential lines.
+                if prediction.wrong_path_pc is not None:
+                    wrong_line = prediction.wrong_path_pc & line_mask
+                    depth = min(pollution_max, ftq_size,
+                                int(restart - iag_t))
+                    for step in range(1, depth + 1):
+                        _, _, _ = hierarchy.access(
+                            wrong_line + step * line_size, iag_t + step,
+                            wrong_path=True)
+                    if counting:
+                        stats.wrong_path_fills = (
+                            hierarchy.wrong_path_fills
+                            - wrong_path_fills_at_count_start)
+                iag_free = restart
+                ftq_inflight.clear()
+                fetch_free = max(fetch_free, restart)
+
+            if counting:
+                counted_instructions += record.n_instr
+                counted_blocks += 1
+            prev_taken = record.taken
+
+        stats.instructions = counted_instructions
+        stats.blocks = counted_blocks
+        stats.cycles = max(retire_free - cycles_at_count_start, 1e-9)
+        return stats
+
+
+def simulate(program: Program, records: list[BlockRecord],
+             config: FrontEndConfig, warmup: int = 0,
+             seed: int = 0) -> SimStats:
+    """Convenience one-shot simulation."""
+    simulator = FrontEndSimulator(program, config, seed=seed)
+    return simulator.run(records, warmup=warmup)

@@ -1,0 +1,28 @@
+"""Experiment harness.
+
+Maps every table and figure in the paper's evaluation to a function that
+regenerates it on the synthetic substrate:
+
+* :mod:`repro.harness.runner` -- memoised (workload, config) -> stats
+  execution, so figures sharing configurations share runs;
+* :mod:`repro.harness.experiments` -- one function per paper exhibit
+  (fig1, fig3, fig6, fig13..fig18, table1, table2, the Section 6.1.4
+  BOLT comparison, and the Section 3.2.2 bogus-rate audit);
+* :mod:`repro.harness.reporting` -- ASCII rendering and geomean helpers;
+* :mod:`repro.harness.scale` -- REPRO_SCALE-controlled trace sizes.
+"""
+
+from repro.harness.scale import Scale, current_scale
+from repro.harness.runner import ExperimentRunner
+from repro.harness.reporting import format_table, geomean, pct
+from repro.harness import experiments
+
+__all__ = [
+    "Scale",
+    "current_scale",
+    "ExperimentRunner",
+    "format_table",
+    "geomean",
+    "pct",
+    "experiments",
+]

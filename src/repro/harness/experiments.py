@@ -1,0 +1,528 @@
+"""One function per table/figure in the paper's evaluation.
+
+Each ``figN`` function runs the required (workload x config) cells via a
+shared :class:`~repro.harness.runner.ExperimentRunner`, returns the data
+as a dict, and renders an ASCII version of the exhibit.  The benchmark
+suite under ``benchmarks/`` calls these and prints the renders, so a
+benchmark log is a full regeneration of the paper's evaluation section.
+
+Paper-expected values (for the EXPERIMENTS.md comparison) come from
+:class:`repro.workloads.profiles.PaperExpectations` and the constants
+below, all read off the paper's text and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.frontend.config import FrontEndConfig, IndexPolicy, SkiaConfig
+from repro.harness.figures import bar_chart, series_chart
+from repro.harness.reporting import format_table, geomean_speedup, pct
+from repro.harness.runner import ExperimentRunner
+from repro.isa.branch import REPORTED_KINDS
+from repro.workloads.profiles import WORKLOAD_NAMES, get_profile
+
+#: Headline numbers from the paper (Section 6.1 and abstract).
+PAPER_GEOMEAN_BOTH = 0.0564
+PAPER_GEOMEAN_HEAD = 0.0368
+PAPER_GEOMEAN_TAIL = 0.0439
+PAPER_BTB_MISS_L1I_HIT_FRACTION = 0.75
+PAPER_BOGUS_RATE = 0.000002  # 0.0002%
+PAPER_VERILATOR_PREBOLT_GAIN = 0.1027
+
+#: Default BTB sweep (entries) used by Figures 1 and 3.
+BTB_SWEEP = (2048, 4096, 8192, 16384, 32768)
+
+#: 12.25KB in bytes -- the SBB hardware budget (Section 6.2).
+SBB_BUDGET_BYTES = 12.25 * 1024
+
+
+def _skia(heads: bool = True, tails: bool = True, **kwargs) -> FrontEndConfig:
+    return FrontEndConfig(skia=SkiaConfig(decode_heads=heads,
+                                          decode_tails=tails, **kwargs))
+
+
+def _ipc_ratios(runner: ExperimentRunner, config: FrontEndConfig,
+                base: FrontEndConfig,
+                workloads=WORKLOAD_NAMES) -> dict[str, float]:
+    out = {}
+    for workload in workloads:
+        out[workload] = (runner.run(workload, config).ipc
+                         / runner.run(workload, base).ipc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 1 -- BTB miss MPKI and the L1-I-resident fraction vs BTB size
+# ----------------------------------------------------------------------
+
+def fig1_btb_miss_l1i_hit(runner: ExperimentRunner,
+                          btb_sizes=BTB_SWEEP,
+                          workloads=WORKLOAD_NAMES) -> dict:
+    """Average BTB-miss MPKI per BTB size, split into misses whose branch
+    line was already L1-I resident (the paper's orange bars)."""
+    rows = []
+    data = {}
+    for entries in btb_sizes:
+        config = FrontEndConfig().with_btb_entries(entries)
+        total = 0.0
+        in_l1 = 0.0
+        for workload in workloads:
+            stats = runner.run(workload, config)
+            total += stats.btb_miss_mpki
+            in_l1 += stats.btb_miss_l1i_hit_mpki
+        total /= len(workloads)
+        in_l1 /= len(workloads)
+        fraction = in_l1 / total if total else 0.0
+        data[entries] = {"total_mpki": total, "l1i_hit_mpki": in_l1,
+                         "l1i_hit_fraction": fraction}
+        rows.append([f"{entries // 1024}K", f"{total:.2f}", f"{in_l1:.2f}",
+                     pct(fraction)])
+    render = format_table(
+        ["BTB entries", "BTB miss MPKI", "miss w/ L1-I hit MPKI",
+         "fraction"],
+        rows,
+        title=("Figure 1: BTB misses vs BTB size (average over "
+               f"{len(workloads)} workloads); paper reports ~"
+               f"{pct(PAPER_BTB_MISS_L1I_HIT_FRACTION, 0)} resident at 8K"))
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Figure 3 -- geomean speedup vs BTB size for four configurations
+# ----------------------------------------------------------------------
+
+def fig3_speedup_vs_btb_size(runner: ExperimentRunner,
+                             btb_sizes=BTB_SWEEP,
+                             workloads=WORKLOAD_NAMES) -> dict:
+    """BTB / BTB+12.25KB / BTB+SBB / infinite BTB, normalised to the
+    smallest plain BTB (the paper normalises to a 4K BTB)."""
+    reference = FrontEndConfig().with_btb_entries(btb_sizes[0])
+    infinite = FrontEndConfig().with_btb_entries(1 << 22, infinite=True)
+
+    def geomean_vs_reference(config: FrontEndConfig) -> float:
+        ratios = _ipc_ratios(runner, config, reference, workloads)
+        return 1.0 + geomean_speedup(list(ratios.values()))
+
+    data: dict[str, dict[int, float]] = {"btb": {}, "btb_plus_state": {},
+                                         "btb_plus_sbb": {}}
+    for entries in btb_sizes:
+        base = FrontEndConfig().with_btb_entries(entries)
+        data["btb"][entries] = geomean_vs_reference(base)
+        data["btb_plus_state"][entries] = geomean_vs_reference(
+            base.with_extra_btb_state(SBB_BUDGET_BYTES))
+        data["btb_plus_sbb"][entries] = geomean_vs_reference(
+            base.with_skia(SkiaConfig()))
+    data["infinite"] = geomean_vs_reference(infinite)
+
+    rows = []
+    for entries in btb_sizes:
+        rows.append([
+            f"{entries // 1024}K",
+            f"{data['btb'][entries]:.4f}",
+            f"{data['btb_plus_state'][entries]:.4f}",
+            f"{data['btb_plus_sbb'][entries]:.4f}",
+            f"{data['infinite']:.4f}",
+        ])
+    table = format_table(
+        ["BTB entries", "BTB", "BTB+12.25KB", "BTB+SBB", "Infinite BTB"],
+        rows,
+        title=("Figure 3: geomean speedup vs BTB size (normalised to "
+               f"{btb_sizes[0] // 1024}K BTB); paper: BTB+SBB ~2x the "
+               "gain of BTB+12.25KB until saturation"))
+    chart = series_chart(
+        [f"{entries // 1024}K" for entries in btb_sizes],
+        {
+            "BTB": [data["btb"][entries] for entries in btb_sizes],
+            "BTB+state": [data["btb_plus_state"][entries]
+                          for entries in btb_sizes],
+            "BTB+SBB": [data["btb_plus_sbb"][entries]
+                        for entries in btb_sizes],
+            "Infinite": [data["infinite"]] * len(btb_sizes),
+        })
+    return {"data": data, "render": table + "\n\n" + chart}
+
+
+# ----------------------------------------------------------------------
+# Figure 6 -- BTB misses by branch type (8K BTB)
+# ----------------------------------------------------------------------
+
+def fig6_miss_breakdown(runner: ExperimentRunner,
+                        workloads=WORKLOAD_NAMES) -> dict:
+    config = FrontEndConfig()
+    data = {}
+    rows = []
+    for workload in workloads:
+        stats = runner.run(workload, config)
+        breakdown = stats.btb_miss_breakdown()
+        data[workload] = breakdown
+        rows.append([workload] + [pct(breakdown[kind.value], 1)
+                                  for kind in REPORTED_KINDS])
+    render = format_table(
+        ["workload"] + [kind.value for kind in REPORTED_KINDS], rows,
+        title=("Figure 6: BTB misses by branch type, 8K-entry BTB "
+               "(paper: indirect misses vanishingly small everywhere)"))
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Figure 13 -- L1-I MPKI, paper's real system vs this simulation
+# ----------------------------------------------------------------------
+
+def fig13_l1i_mpki(runner: ExperimentRunner,
+                   workloads=WORKLOAD_NAMES) -> dict:
+    config = FrontEndConfig()
+    data = {}
+    rows = []
+    for workload in workloads:
+        measured = runner.run(workload, config).l1i_mpki
+        real = get_profile(workload).expected.l1i_mpki_real
+        data[workload] = {"paper_real": real, "measured": measured}
+        rows.append([workload, f"{real:.1f}", f"{measured:.1f}"])
+    render = format_table(
+        ["workload", "paper real-system MPKI", "simulated MPKI"], rows,
+        title=("Figure 13: L1-I MPKI -- paper's VTune measurement vs this "
+               "reproduction's synthetic workloads"))
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Figure 14 -- IPC gain per benchmark: head / tail / both
+# ----------------------------------------------------------------------
+
+def fig14_ipc_gain(runner: ExperimentRunner,
+                   workloads=WORKLOAD_NAMES) -> dict:
+    base = FrontEndConfig()
+    configs = {
+        "head": _skia(heads=True, tails=False),
+        "tail": _skia(heads=False, tails=True),
+        "both": _skia(heads=True, tails=True),
+    }
+    data: dict[str, dict[str, float]] = {name: {} for name in configs}
+    rows = []
+    for workload in workloads:
+        base_ipc = runner.run(workload, base).ipc
+        gains = {}
+        for name, config in configs.items():
+            gains[name] = runner.run(workload, config).ipc / base_ipc - 1.0
+            data[name][workload] = gains[name]
+        expected = get_profile(workload).expected
+        rows.append([workload, pct(gains["head"]), pct(gains["tail"]),
+                     pct(gains["both"]),
+                     f"{expected.ipc_gain_pct:.1f}% ({expected.gain_class})"])
+    geo = {name: geomean_speedup([1.0 + gain for gain in values.values()])
+           for name, values in data.items()}
+    rows.append(["GEOMEAN", pct(geo["head"]), pct(geo["tail"]),
+                 pct(geo["both"]),
+                 f"paper: {PAPER_GEOMEAN_HEAD:.2%} / "
+                 f"{PAPER_GEOMEAN_TAIL:.2%} / {PAPER_GEOMEAN_BOTH:.2%}"])
+    table = format_table(
+        ["workload", "head-only", "tail-only", "head+tail", "paper both"],
+        rows,
+        title="Figure 14: IPC gain over the 8K-BTB FDIP baseline")
+    chart = bar_chart(list(workloads),
+                      [data["both"][workload] for workload in workloads],
+                      title="head+tail IPC gain per workload")
+    return {"data": data, "geomean": geo, "render": table + "\n\n" + chart}
+
+
+# ----------------------------------------------------------------------
+# Figure 15 -- BTB misses with L1-I-resident lines, per benchmark
+# ----------------------------------------------------------------------
+
+def fig15_btb_miss_l1i_hit(runner: ExperimentRunner,
+                           workloads=WORKLOAD_NAMES) -> dict:
+    config = FrontEndConfig()
+    data = {}
+    rows = []
+    for workload in workloads:
+        stats = runner.run(workload, config)
+        data[workload] = {
+            "total_mpki": stats.btb_miss_mpki,
+            "l1i_hit_mpki": stats.btb_miss_l1i_hit_mpki,
+            "fraction": stats.btb_miss_l1i_hit_fraction,
+        }
+        rows.append([workload, f"{stats.btb_miss_mpki:.2f}",
+                     f"{stats.btb_miss_l1i_hit_mpki:.2f}",
+                     pct(stats.btb_miss_l1i_hit_fraction)])
+    render = format_table(
+        ["workload", "BTB miss MPKI", "w/ L1-I hit MPKI", "fraction"], rows,
+        title="Figure 15: BTB miss with L1-I line hit, 8K-entry BTB")
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Figure 16 -- BTB miss MPKI: baseline vs BTB+12.25KB vs Skia
+# ----------------------------------------------------------------------
+
+def fig16_mpki_reduction(runner: ExperimentRunner,
+                         workloads=WORKLOAD_NAMES) -> dict:
+    base = FrontEndConfig()
+    bigger = base.with_extra_btb_state(SBB_BUDGET_BYTES)
+    skia = base.with_skia(SkiaConfig())
+    data = {}
+    rows = []
+    for workload in workloads:
+        base_mpki = runner.run(workload, base).btb_miss_mpki
+        big_mpki = runner.run(workload, bigger).btb_miss_mpki
+        skia_stats = runner.run(workload, skia)
+        # Skia's effective misses: BTB misses not covered by a correct
+        # SBB-provided target.
+        covered = skia_stats.total_sbb_hits - skia_stats.sbb_wrong_target
+        effective = skia_stats.mpki(
+            max(0, skia_stats.total_btb_misses - covered))
+        data[workload] = {"baseline": base_mpki, "btb_plus_state": big_mpki,
+                          "skia": effective}
+        rows.append([workload, f"{base_mpki:.2f}", f"{big_mpki:.2f}",
+                     f"{effective:.2f}"])
+
+    def reduction(key: str) -> float:
+        pairs = [(data[w]["baseline"], data[w][key]) for w in workloads]
+        before = sum(p[0] for p in pairs)
+        after = sum(p[1] for p in pairs)
+        return before / after - 1.0 if after else float("inf")
+
+    summary = {"skia_reduction": reduction("skia"),
+               "btb_plus_state_reduction": reduction("btb_plus_state")}
+    rows.append(["AVG REDUCTION", "-",
+                 pct(summary["btb_plus_state_reduction"], 0),
+                 pct(summary["skia_reduction"], 0)])
+    render = format_table(
+        ["workload", "baseline", "BTB+12.25KB", "Skia (uncovered)"], rows,
+        title=("Figure 16: effective BTB miss MPKI (paper: Skia ~115% "
+               "reduction vs ~35% for BTB+12.25KB)"))
+    return {"data": data, "summary": summary, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Figure 17 -- SBB sensitivity: U/R split at 12.25KB, then total scaling
+# ----------------------------------------------------------------------
+
+#: (usbb_entries, rsbb_entries) combinations totalling ~12.25KB
+#: (u * 78b + r * 20b ~= 100352 bits), including the paper's chosen
+#: 768/2024 point.
+FIG17_SPLITS = ((0, 5016), (256, 4016), (512, 3020), (768, 2024),
+                (1024, 1024), (1184, 400), (1284, 8))
+
+FIG17_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def fig17_sbb_sensitivity(runner: ExperimentRunner,
+                          workloads=WORKLOAD_NAMES,
+                          splits=FIG17_SPLITS,
+                          scales=FIG17_SCALES) -> dict:
+    base = FrontEndConfig()
+
+    def gain(skia_config: SkiaConfig) -> float:
+        ratios = _ipc_ratios(runner, base.with_skia(skia_config), base,
+                             workloads)
+        return geomean_speedup(list(ratios.values()))
+
+    split_data = {}
+    split_rows = []
+    for usbb, rsbb in splits:
+        config = replace(SkiaConfig(), usbb_entries=usbb, rsbb_entries=rsbb)
+        value = gain(config)
+        split_data[(usbb, rsbb)] = value
+        marker = " <- paper's split" if (usbb, rsbb) == (768, 2024) else ""
+        split_rows.append([f"{usbb}U/{rsbb}R",
+                           f"{config.total_size_kib:.2f}KB",
+                           pct(value) + marker])
+
+    scale_data = {}
+    scale_rows = []
+    for factor in scales:
+        config = SkiaConfig().scaled(factor)
+        value = gain(config)
+        scale_data[factor] = value
+        scale_rows.append([f"{factor}x", f"{config.total_size_kib:.2f}KB",
+                           pct(value)])
+
+    render = (
+        format_table(["U/R split", "state", "geomean gain"], split_rows,
+                     title="Figure 17 (top): U-SBB/R-SBB split at ~12.25KB")
+        + "\n\n"
+        + format_table(["scale", "state", "geomean gain"], scale_rows,
+                       title=("Figure 17 (bottom): total SBB size at the "
+                              "default U:R ratio"))
+    )
+    return {"splits": split_data, "scales": scale_data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Figure 18 -- decoder idle-cycle reduction
+# ----------------------------------------------------------------------
+
+def fig18_decoder_idle(runner: ExperimentRunner,
+                       workloads=WORKLOAD_NAMES) -> dict:
+    base = FrontEndConfig()
+    skia = base.with_skia(SkiaConfig())
+    data = {}
+    rows = []
+    for workload in workloads:
+        idle_base = runner.run(workload, base).decoder_idle_cycles
+        idle_skia = runner.run(workload, skia).decoder_idle_cycles
+        reduction = 1.0 - idle_skia / idle_base if idle_base else 0.0
+        data[workload] = reduction
+        rows.append([workload, f"{idle_base:.0f}", f"{idle_skia:.0f}",
+                     pct(reduction)])
+    render = format_table(
+        ["workload", "baseline idle", "skia idle", "reduction"], rows,
+        title=("Figure 18: decoder idle-cycle reduction (paper: voter and "
+               "sibench show the largest reductions)"))
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Tables 1 and 2
+# ----------------------------------------------------------------------
+
+def table1_config(config: FrontEndConfig | None = None) -> dict:
+    config = config or FrontEndConfig()
+    skia = SkiaConfig()
+    rows = [
+        ["ISA", "synthetic x86-like (variable length, 1-15B)"],
+        ["L1-I cache", f"{config.l1i_size // 1024}KB "
+                       f"({config.l1i_assoc}-way, {config.line_size}B)"],
+        ["L2 cache", f"{config.l2_size // 1024}KB ({config.l2_assoc}-way)"],
+        ["L3 cache", f"{config.l3_size // 1024}KB ({config.l3_assoc}-way)"],
+        ["Branch predictor", "TAGE-lite + ITTAGE-lite"],
+        ["BTB", f"{config.btb_entries // 1024}K-entry/"
+                f"{config.btb_size_kib:.0f}KB ({config.btb_assoc}-way)"],
+        ["U-SBB", f"{skia.usbb_size_bytes / 1024:.4f}KB "
+                  f"({skia.usbb_entries} x {skia.usbb_entry_bits}b, "
+                  f"{skia.usbb_assoc}-way)"],
+        ["R-SBB", f"{skia.rsbb_size_bytes / 1024:.4f}KB "
+                  f"({skia.rsbb_entries} x {skia.rsbb_entry_bits}b, "
+                  f"{skia.rsbb_assoc}-way)"],
+        ["FTQ", f"{config.ftq_size} entries"],
+        ["Decode width", f"{config.decode_width} wide"],
+    ]
+    render = format_table(["Field / Model", "Alder Lake like"], rows,
+                          title="Table 1: processor configuration")
+    return {"rows": rows, "render": render}
+
+
+def table2_benchmarks() -> dict:
+    suites: dict[str, list[str]] = {}
+    for name in WORKLOAD_NAMES:
+        suites.setdefault(get_profile(name).suite, []).append(name)
+    rows = [[suite, ", ".join(names)] for suite, names in suites.items()]
+    render = format_table(["Suite", "Benchmarks"], rows,
+                          title="Table 2: benchmarks used to evaluate Skia")
+    return {"suites": suites, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Section 6.1.4 -- Verilator bolted vs pre-bolt
+# ----------------------------------------------------------------------
+
+def verilator_bolt_comparison(runner: ExperimentRunner) -> dict:
+    """Pre-bolt = the un-optimised binary texture; bolted = the
+    BOLT-optimised texture plus the function-reordering pass (BOLT emits
+    a different binary, so both sides are generated; see DESIGN.md)."""
+    base = FrontEndConfig()
+    skia = base.with_skia(SkiaConfig())
+    data = {}
+    for tag, workload, bolted in (("prebolt", "verilator-prebolt", False),
+                                  ("bolted", "verilator-bolted", True)):
+        base_stats = runner.run(workload, base, bolted=bolted)
+        skia_stats = runner.run(workload, skia, bolted=bolted)
+        data[tag] = {
+            "base_ipc": base_stats.ipc,
+            "skia_ipc": skia_stats.ipc,
+            "gain": skia_stats.ipc / base_stats.ipc - 1.0,
+            "btb_miss_mpki": base_stats.btb_miss_mpki,
+        }
+    rows = [
+        [tag, f"{values['btb_miss_mpki']:.2f}", f"{values['base_ipc']:.3f}",
+         pct(values["gain"])]
+        for tag, values in data.items()
+    ]
+    render = format_table(
+        ["binary", "BTB miss MPKI", "base IPC", "Skia gain"], rows,
+        title=("Section 6.1.4: Verilator pre-bolt vs bolted (paper: "
+               f"{PAPER_VERILATOR_PREBOLT_GAIN:.2%} pre-bolt gain, more "
+               "BTB misses without BOLT)"))
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Section 3.2.2 -- bogus branch rate audit
+# ----------------------------------------------------------------------
+
+def bogus_rate_audit(runner: ExperimentRunner,
+                     workloads=WORKLOAD_NAMES) -> dict:
+    config = FrontEndConfig().with_skia(SkiaConfig())
+    data = {}
+    rows = []
+    for workload in workloads:
+        stats = runner.run(workload, config)
+        data[workload] = stats.bogus_insertion_rate
+        rows.append([workload, f"{stats.total_sbb_insertions}",
+                     f"{stats.sbb_bogus_insertions}",
+                     f"{stats.bogus_insertion_rate:.6f}"])
+    average = (sum(data.values()) / len(data)) if data else 0.0
+    rows.append(["AVERAGE", "-", "-", f"{average:.6f}"])
+    render = format_table(
+        ["workload", "SBB insertions", "bogus", "rate"], rows,
+        title=("Section 3.2.2: bogus shadow-branch insertions relative to "
+               f"all SBB insertions (paper: ~{PAPER_BOGUS_RATE:.6f})"))
+    return {"data": data, "average": average, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Ablations called out in DESIGN.md
+# ----------------------------------------------------------------------
+
+def ablation_index_policy(runner: ExperimentRunner,
+                          workloads=WORKLOAD_NAMES) -> dict:
+    """Section 3.2.2 Valid Index: First vs Zero vs Merge."""
+    base = FrontEndConfig()
+    data = {}
+    rows = []
+    for policy in IndexPolicy:
+        config = base.with_skia(SkiaConfig(index_policy=policy))
+        ratios = _ipc_ratios(runner, config, base, workloads)
+        data[policy.value] = geomean_speedup(list(ratios.values()))
+        rows.append([policy.value, pct(data[policy.value])])
+    render = format_table(
+        ["index policy", "geomean gain"], rows,
+        title=("Ablation: head-decode Valid Index policy (paper: First "
+               "Index best)"))
+    return {"data": data, "render": render}
+
+
+def ablation_max_paths(runner: ExperimentRunner,
+                       workloads=WORKLOAD_NAMES,
+                       limits=(1, 2, 4, 6, 12, 64)) -> dict:
+    """Section 3.2.2 Valid Encodings cutoff (paper uses 6)."""
+    base = FrontEndConfig()
+    data = {}
+    rows = []
+    for limit in limits:
+        config = base.with_skia(SkiaConfig(max_valid_paths=limit))
+        ratios = _ipc_ratios(runner, config, base, workloads)
+        data[limit] = geomean_speedup(list(ratios.values()))
+        rows.append([str(limit), pct(data[limit])])
+    render = format_table(
+        ["max valid paths", "geomean gain"], rows,
+        title="Ablation: head-decode valid-path cutoff")
+    return {"data": data, "render": render}
+
+
+def ablation_retired_bit(runner: ExperimentRunner,
+                         workloads=WORKLOAD_NAMES) -> dict:
+    """Section 4.3 replacement policy: retired-first vs plain LRU."""
+    base = FrontEndConfig()
+    data = {}
+    rows = []
+    for label, flag in (("retired-first", True), ("plain LRU", False)):
+        config = base.with_skia(SkiaConfig(use_retired_bit=flag))
+        ratios = _ipc_ratios(runner, config, base, workloads)
+        data[label] = geomean_speedup(list(ratios.values()))
+        rows.append([label, pct(data[label])])
+    render = format_table(
+        ["replacement", "geomean gain"], rows,
+        title="Ablation: SBB replacement policy")
+    return {"data": data, "render": render}

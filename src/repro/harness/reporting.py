@@ -1,0 +1,60 @@
+"""Rendering helpers for experiment output.
+
+Everything prints as plain ASCII tables so benchmark logs double as the
+regenerated exhibits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def geomean_speedup(ratios: Iterable[float]) -> float:
+    """Geometric-mean speedup, expressed as a fraction (0.057 = 5.7%).
+
+    ``ratios`` are per-workload IPC ratios (skia/base), i.e. 1 + gain.
+    """
+    return geomean(ratios) - 1.0
+
+
+def pct(fraction: float, digits: int = 2) -> str:
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,67 @@
+"""Memoised experiment execution.
+
+Different figures reuse the same (workload, configuration) cells -- e.g.
+the 8K-BTB baseline appears in Figures 1, 6, 14, 15, 16 and 18.  The
+runner hashes a canonical key for each cell and runs each distinct cell
+once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.engine import FrontEndSimulator
+from repro.frontend.stats import SimStats
+from repro.harness.scale import Scale, current_scale
+from repro.workloads.cache import GLOBAL_CACHE, WorkloadCache
+
+
+def config_key(config: FrontEndConfig) -> tuple:
+    """A hashable, order-stable identity for a configuration."""
+    def flatten(mapping: dict) -> tuple:
+        items = []
+        for key in sorted(mapping):
+            value = mapping[key]
+            if isinstance(value, dict):
+                value = flatten(value)
+            elif isinstance(value, list):
+                value = tuple(value)
+            items.append((key, value))
+        return tuple(items)
+
+    return flatten(asdict(config))
+
+
+class ExperimentRunner:
+    """Runs (workload, config) cells with memoisation."""
+
+    def __init__(self, scale: Scale | None = None, seed: int = 0,
+                 cache: WorkloadCache | None = None):
+        self.scale = scale or current_scale()
+        self.seed = seed
+        self.cache = cache or GLOBAL_CACHE
+        self._results: dict[tuple, SimStats] = {}
+
+    def run(self, workload: str, config: FrontEndConfig,
+            bolted: bool = False) -> SimStats:
+        key = (workload, bolted, self.scale.name, self.seed,
+               config_key(config))
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        program = self.cache.program(workload, seed=self.seed, bolted=bolted)
+        trace = self.cache.trace(workload, self.scale.records,
+                                 seed=self.seed, bolted=bolted)
+        simulator = FrontEndSimulator(program, config, seed=self.seed)
+        stats = simulator.run(trace, warmup=self.scale.warmup)
+        self._results[key] = stats
+        return stats
+
+    def run_many(self, workloads: list[str], config: FrontEndConfig,
+                 bolted: bool = False) -> dict[str, SimStats]:
+        return {workload: self.run(workload, config, bolted=bolted)
+                for workload in workloads}
+
+    def clear(self) -> None:
+        self._results.clear()

@@ -1,0 +1,46 @@
+"""Experiment scale control.
+
+Paper runs are 100M instructions after a 10M warm-up in gem5 (Section 5).
+A pure-Python simulator cannot afford that per (workload x config) cell,
+so experiments run at a scaled trace length with the same structure:
+deterministic warm-up prefix, measurement suffix.  ``REPRO_SCALE``
+selects the point on the fidelity/runtime curve:
+
+* ``smoke``   -- seconds; CI sanity only, numbers noisy.
+* ``quick``   -- the default; a full figure suite in tens of minutes.
+* ``full``    -- closest to the paper's regime; hours.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    records: int
+    warmup: int
+
+    @property
+    def measured_records(self) -> int:
+        return self.records - self.warmup
+
+
+SCALES = {
+    "smoke": Scale("smoke", records=40_000, warmup=12_000),
+    "quick": Scale("quick", records=160_000, warmup=50_000),
+    "default": Scale("default", records=300_000, warmup=80_000),
+    "full": Scale("full", records=700_000, warmup=180_000),
+}
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default ``quick``)."""
+    name = os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        known = ", ".join(SCALES)
+        raise ValueError(f"REPRO_SCALE={name!r}; expected one of {known}") from None

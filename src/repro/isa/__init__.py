@@ -1,0 +1,36 @@
+"""Synthetic x86-like variable-length ISA.
+
+This package is the machine-code substrate for the Skia reproduction.  It
+defines an instruction encoding with the three properties that make shadow
+branch decoding interesting on real x86:
+
+* instructions are 1-15 bytes long (prefixes, ModRM/SIB addressing bytes,
+  displacements and immediates);
+* the opcode space is dense but not total, so decoding from a wrong byte
+  offset frequently yields a *valid but different* instruction stream, and
+  occasionally an invalid one;
+* direct branches (``jmp``/``call``/``jcc``) carry PC-relative immediates,
+  so their targets are computable at decode time, while indirect branches
+  are not, and ``ret`` is a single byte whose target comes from the return
+  address stack.
+
+The public surface is :class:`~repro.isa.decoder.Decoder` (byte stream ->
+instructions), :class:`~repro.isa.encoder.Encoder` (instructions -> bytes)
+and the :class:`~repro.isa.branch.BranchKind` taxonomy used throughout the
+simulator.
+"""
+
+from repro.isa.branch import BranchKind
+from repro.isa.instruction import DecodedInstruction, Instruction
+from repro.isa.decoder import Decoder, decode_at, instruction_length
+from repro.isa.encoder import Encoder
+
+__all__ = [
+    "BranchKind",
+    "DecodedInstruction",
+    "Instruction",
+    "Decoder",
+    "decode_at",
+    "instruction_length",
+    "Encoder",
+]

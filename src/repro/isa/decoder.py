@@ -1,0 +1,197 @@
+"""Byte-stream decoder (the honest one).
+
+This decoder recovers instruction *lengths*, *branch kinds* and *direct
+branch targets* from raw bytes -- exactly the capability the paper assumes
+of the front-end predecoder and of Skia's Shadow Branch Decoder.  It never
+consults ground-truth layout information, so decoding from a mid-
+instruction offset behaves like real x86: it usually produces a valid but
+different instruction, and sometimes fails on an invalid encoding.
+
+``decode_at`` is the workhorse; :class:`Decoder` adds a small LRU-less
+memo keyed on the byte window, which matters because the Shadow Branch
+Decoder re-decodes every offset of every head region (Index Computation).
+"""
+
+from __future__ import annotations
+
+from repro.isa.branch import BranchKind
+from repro.isa.instruction import DecodedInstruction
+from repro.isa.opcodes import (
+    MAX_INSTRUCTION_LENGTH,
+    PRIMARY_MAP,
+    SECONDARY_MAP,
+    Format,
+    ff_group_kind,
+    modrm_tail_length,
+)
+
+
+def _sign_extend(value: int, width_bytes: int) -> int:
+    bits = 8 * width_bytes
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def decode_at(
+    code: bytes | bytearray | memoryview,
+    offset: int,
+    pc: int | None = None,
+    limit: int | None = None,
+) -> DecodedInstruction | None:
+    """Decode one instruction starting at ``code[offset]``.
+
+    Parameters
+    ----------
+    code:
+        The byte image (or any slice-able byte container).
+    offset:
+        Byte offset to start decoding at.
+    pc:
+        Virtual address of ``code[offset]``; defaults to ``offset``.
+        Direct-branch targets are computed relative to this.
+    limit:
+        Offset one past the last byte that may be consumed (e.g. a cache
+        line boundary during shadow decoding).  Instructions that would
+        run past the limit decode to ``None``.
+
+    Returns ``None`` for invalid encodings, truncated instructions, or
+    prefix runs exceeding the 15-byte architectural limit.
+    """
+    end = len(code) if limit is None else min(limit, len(code))
+    if offset < 0 or offset >= end:
+        return None
+    if pc is None:
+        pc = offset
+
+    cursor = offset
+    # Consume prefixes.
+    while True:
+        if cursor >= end:
+            return None
+        if cursor - offset >= MAX_INSTRUCTION_LENGTH:
+            return None
+        byte = code[cursor]
+        info = PRIMARY_MAP[byte]
+        if info.format is not Format.PREFIX:
+            break
+        cursor += 1
+
+    opcode_table = PRIMARY_MAP
+    if info.format is Format.ESCAPE:
+        cursor += 1
+        if cursor >= end:
+            return None
+        byte = code[cursor]
+        info = SECONDARY_MAP[byte]
+        opcode_table = SECONDARY_MAP
+    if info.format is Format.INVALID:
+        return None
+    cursor += 1  # past the opcode byte
+
+    kind = info.kind
+    mnemonic = info.mnemonic
+    target: int | None = None
+
+    if info.format in (Format.FIXED, Format.RET):
+        cursor += info.imm_bytes
+    elif info.format is Format.REL:
+        if cursor + info.imm_bytes > end:
+            return None
+        raw = int.from_bytes(code[cursor:cursor + info.imm_bytes], "little")
+        rel = _sign_extend(raw, info.imm_bytes)
+        cursor += info.imm_bytes
+        length = cursor - offset
+        if length > MAX_INSTRUCTION_LENGTH:
+            return None
+        target = pc + length + rel
+    elif info.format in (Format.MODRM, Format.GROUP_FF):
+        if cursor >= end:
+            return None
+        modrm = code[cursor]
+        sib = code[cursor + 1] if cursor + 1 < end else None
+        tail = modrm_tail_length(modrm, sib)
+        if tail is None:
+            return None  # needed an SIB byte that is past the limit
+        cursor += tail + info.imm_bytes
+        if info.format is Format.GROUP_FF:
+            kind = ff_group_kind(modrm)
+            if kind is BranchKind.INDIRECT_CALL:
+                mnemonic = "call r/m"
+            elif kind is BranchKind.INDIRECT_UNCOND:
+                mnemonic = "jmp r/m"
+    else:  # pragma: no cover - formats are exhaustive
+        raise AssertionError(f"unhandled format {info.format}")
+
+    length = cursor - offset
+    if length > MAX_INSTRUCTION_LENGTH or cursor > end:
+        return None
+    return DecodedInstruction(pc=pc, length=length, kind=kind,
+                              target=target, mnemonic=mnemonic)
+
+
+def instruction_length(
+    code: bytes | bytearray | memoryview,
+    offset: int,
+    limit: int | None = None,
+) -> int:
+    """Length of the instruction at ``offset``; 0 when undecodable.
+
+    The 0-for-invalid convention matches the paper's Figure 9, where the
+    Index Computation phase records a zero for bytes at which no valid
+    instruction starts.
+    """
+    decoded = decode_at(code, offset, limit=limit)
+    return 0 if decoded is None else decoded.length
+
+
+class Decoder:
+    """Decoder with a per-instance memo for repeated offset decodes.
+
+    The Shadow Branch Decoder calls :meth:`decode` for every byte offset
+    of every head region; within one cache line the same (line, offset)
+    pair recurs constantly, so memoising on ``(id-free key, offset)`` is a
+    large win.  The memo key includes the raw window bytes, so mutated
+    images cannot serve stale entries.
+    """
+
+    def __init__(self, code: bytes | bytearray | memoryview, base_pc: int = 0):
+        self._code = bytes(code)
+        self._base_pc = base_pc
+        self._memo: dict[tuple[int, int | None], DecodedInstruction | None] = {}
+
+    @property
+    def code(self) -> bytes:
+        return self._code
+
+    @property
+    def base_pc(self) -> int:
+        return self._base_pc
+
+    def decode(self, offset: int, limit: int | None = None) -> DecodedInstruction | None:
+        key = (offset, limit)
+        if key in self._memo:
+            return self._memo[key]
+        result = decode_at(self._code, offset, pc=self._base_pc + offset, limit=limit)
+        self._memo[key] = result
+        return result
+
+    def decode_pc(self, pc: int, limit_pc: int | None = None) -> DecodedInstruction | None:
+        """Decode by virtual address rather than image offset."""
+        limit = None if limit_pc is None else limit_pc - self._base_pc
+        return self.decode(pc - self._base_pc, limit=limit)
+
+    def length(self, offset: int, limit: int | None = None) -> int:
+        decoded = self.decode(offset, limit)
+        return 0 if decoded is None else decoded.length
+
+    def linear_sweep(self, start: int, stop: int) -> list[DecodedInstruction]:
+        """Decode consecutively from ``start`` until ``stop`` or failure."""
+        out: list[DecodedInstruction] = []
+        offset = start
+        while offset < stop:
+            decoded = self.decode(offset, limit=stop)
+            if decoded is None:
+                break
+            out.append(decoded)
+            offset += decoded.length
+        return out

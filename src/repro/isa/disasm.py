@@ -1,0 +1,101 @@
+"""Textual disassembler for the synthetic ISA.
+
+Renders byte windows as objdump-style listings -- used by the examples,
+by failing-test diagnostics, and for eyeballing shadow regions.  The
+semantic content is deliberately shallow (the ISA only models lengths
+and branch behaviour), but addresses, bytes, mnemonics and branch
+targets are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.branch import BranchKind
+from repro.isa.decoder import decode_at
+
+
+@dataclass(frozen=True)
+class DisasmLine:
+    """One rendered instruction (or an undecodable byte)."""
+
+    pc: int
+    raw: bytes
+    text: str
+    kind: BranchKind | None  # None for undecodable bytes
+
+    def render(self, pc_width: int = 8) -> str:
+        hex_bytes = self.raw.hex(" ")
+        return f"{self.pc:#0{pc_width + 2}x}:  {hex_bytes:<24}  {self.text}"
+
+
+def disassemble(code: bytes, start: int = 0, stop: int | None = None,
+                base_pc: int = 0,
+                skip_invalid: bool = False) -> list[DisasmLine]:
+    """Linear-sweep disassembly of ``code[start:stop]``.
+
+    ``base_pc`` is the virtual address of ``code[0]`` (so the first
+    rendered pc is ``base_pc + start``).  Undecodable bytes become
+    one-byte ``(bad)`` lines (and the sweep continues at the next byte),
+    so hostile regions render fully; pass ``skip_invalid`` to stop at
+    the first invalid byte instead.
+    """
+    stop = len(code) if stop is None else min(stop, len(code))
+    lines: list[DisasmLine] = []
+    offset = start
+    while offset < stop:
+        decoded = decode_at(code, offset, pc=base_pc + offset, limit=stop)
+        if decoded is None:
+            if skip_invalid:
+                break
+            lines.append(DisasmLine(
+                pc=base_pc + offset, raw=code[offset:offset + 1],
+                text="(bad)", kind=None))
+            offset += 1
+            continue
+        text = decoded.mnemonic
+        if decoded.target is not None:
+            text = f"{text} {decoded.target:#x}"
+        elif decoded.kind is BranchKind.RETURN:
+            text = decoded.mnemonic
+        lines.append(DisasmLine(
+            pc=decoded.pc, raw=code[offset:offset + decoded.length],
+            text=text, kind=decoded.kind))
+        offset += decoded.length
+    return lines
+
+
+def format_listing(lines: list[DisasmLine], mark_branches: bool = True) -> str:
+    """Multi-line listing; branches get a trailing marker."""
+    rendered = []
+    for line in lines:
+        suffix = ""
+        if mark_branches and line.kind is not None and line.kind.is_branch:
+            suffix = f"   <-- {line.kind.value}"
+        rendered.append(line.render() + suffix)
+    return "\n".join(rendered)
+
+
+def disassemble_line_region(image: bytes, base_address: int, line_pc: int,
+                            entry_offset: int | None = None,
+                            exit_offset: int | None = None,
+                            line_size: int = 64) -> str:
+    """Render one cache line, annotating shadow regions.
+
+    ``entry_offset``/``exit_offset`` mark the executed region; bytes
+    before the entry and after the exit are labelled as head/tail
+    shadow, matching the paper's Figure 5.
+    """
+    start = line_pc - base_address
+    lines = disassemble(image, start, start + line_size,
+                        base_pc=base_address)
+    rendered = []
+    for line in lines:
+        offset = line.pc - line_pc
+        zone = "exec"
+        if entry_offset is not None and offset < entry_offset:
+            zone = "HEAD shadow"
+        elif exit_offset is not None and offset >= exit_offset:
+            zone = "TAIL shadow"
+        rendered.append(f"[{zone:>11}] {line.render()}")
+    return "\n".join(rendered)

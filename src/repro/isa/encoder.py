@@ -1,0 +1,270 @@
+"""Instruction encoder / assembler.
+
+The workload generator asks this module for two things:
+
+* **filler** instructions of a *chosen byte length* (1-15), so code images
+  get a realistic instruction-length mix -- immediates and displacements
+  are filled with random bytes, which is what makes head shadow decoding
+  genuinely ambiguous;
+* **branch** instructions in every form the paper cares about: rel8/rel32
+  conditional jumps, rel8/rel32 unconditional jumps, rel32 calls, 1- and
+  3-byte returns, and register/memory indirect jumps and calls.
+
+Relative immediates are left as zeros; the layout pass patches them via
+:meth:`repro.isa.instruction.Instruction.patch_relative` once block
+addresses are known.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.branch import BranchKind
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MAX_INSTRUCTION_LENGTH
+
+#: Safe one-byte opcodes used for L=1 fillers and sampling variety.
+_ONE_BYTE_OPS = (0x90, 0x50, 0x51, 0x53, 0x55, 0x58, 0x5B, 0x5D, 0x99, 0xC9, 0xF8, 0xFC)
+
+#: ModRM-format opcodes (no immediate) used for register/memory fillers.
+_MODRM_OPS = (0x01, 0x03, 0x09, 0x0B, 0x21, 0x23, 0x29, 0x2B, 0x31, 0x33,
+              0x39, 0x3B, 0x85, 0x88, 0x89, 0x8A, 0x8B, 0x8D)
+
+#: Prefixes that are always legal to prepend to a filler.
+_SAFE_PREFIXES = (0x66, 0x2E, 0x3E, 0x36, 0x48, 0x4C, 0x41, 0x44, 0xF3)
+
+
+def _modrm(mod: int, reg: int, rm: int) -> int:
+    return ((mod & 3) << 6) | ((reg & 7) << 3) | (rm & 7)
+
+
+def _rand_reg(rng: random.Random) -> int:
+    return rng.randrange(8)
+
+
+def _rand_rm_not4(rng: random.Random) -> int:
+    """An rm field that selects no SIB byte (anything but 4)."""
+    rm = rng.randrange(7)
+    return rm if rm < 4 else rm + 1
+
+
+def _rand_imm(rng: random.Random, width: int) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(width))
+
+
+def _rand_sib(rng: random.Random, allow_base5: bool = False) -> int:
+    """A random SIB byte; with ``allow_base5`` False the base!=5 so the
+    mod==0 disp32 special case is not triggered."""
+    while True:
+        sib = rng.randrange(256)
+        if allow_base5 or (sib & 0x7) != 5:
+            return sib
+
+
+class Encoder:
+    """Stateless instruction factory (all randomness comes from the rng)."""
+
+    # ------------------------------------------------------------------
+    # Fillers
+    # ------------------------------------------------------------------
+
+    def filler(self, rng: random.Random, length: int) -> Instruction:
+        """A non-branch instruction of exactly ``length`` bytes."""
+        if not 1 <= length <= MAX_INSTRUCTION_LENGTH:
+            raise ValueError(f"filler length {length} outside 1..{MAX_INSTRUCTION_LENGTH}")
+        body = self._filler_body(rng, length)
+        prefix_count = length - len(body)
+        prefixes = bytes(rng.choice(_SAFE_PREFIXES) for _ in range(prefix_count))
+        encoding = bytearray(prefixes + body)
+        assert len(encoding) == length
+        return Instruction(encoding=encoding, mnemonic=f"filler{length}")
+
+    def _filler_body(self, rng: random.Random, length: int) -> bytes:
+        """Pick a base encoding whose length is <= ``length`` and as close
+        to it as possible (the remainder becomes prefixes)."""
+        builders = _BODY_BUILDERS_BY_LENGTH
+        for body_len in range(min(length, _MAX_BODY_LEN), 0, -1):
+            options = builders.get(body_len)
+            if options:
+                return rng.choice(options)(rng)
+        raise AssertionError("length 1 builder always exists")
+
+    # ------------------------------------------------------------------
+    # Direct branches
+    # ------------------------------------------------------------------
+
+    def cond_branch(self, rng: random.Random, target_label: int,
+                    wide: bool = False) -> Instruction:
+        """``jcc rel8`` (2B) or ``0x0F jcc rel32`` (6B)."""
+        cc = rng.randrange(16)
+        if wide:
+            encoding = bytearray([0x0F, 0x80 + cc, 0, 0, 0, 0])
+            rel_offset, rel_width = 2, 4
+        else:
+            encoding = bytearray([0x70 + cc, 0])
+            rel_offset, rel_width = 1, 1
+        return Instruction(encoding=encoding, kind=BranchKind.DIRECT_COND,
+                           target_label=target_label, rel_width=rel_width,
+                           rel_offset=rel_offset, mnemonic="jcc")
+
+    def uncond_jmp(self, rng: random.Random, target_label: int,
+                   wide: bool = True) -> Instruction:
+        """``jmp rel32`` (5B) or ``jmp rel8`` (2B)."""
+        if wide:
+            encoding = bytearray([0xE9, 0, 0, 0, 0])
+            rel_offset, rel_width = 1, 4
+        else:
+            encoding = bytearray([0xEB, 0])
+            rel_offset, rel_width = 1, 1
+        return Instruction(encoding=encoding, kind=BranchKind.DIRECT_UNCOND,
+                           target_label=target_label, rel_width=rel_width,
+                           rel_offset=rel_offset, mnemonic="jmp")
+
+    def call(self, rng: random.Random, target_label: int) -> Instruction:
+        """``call rel32`` (5B)."""
+        encoding = bytearray([0xE8, 0, 0, 0, 0])
+        return Instruction(encoding=encoding, kind=BranchKind.CALL,
+                           target_label=target_label, rel_width=4,
+                           rel_offset=1, mnemonic="call")
+
+    def ret(self, rng: random.Random, with_imm: bool = False) -> Instruction:
+        """``ret`` (1B) or ``ret imm16`` (3B)."""
+        if with_imm:
+            encoding = bytearray([0xC2]) + bytearray(_rand_imm(rng, 2))
+        else:
+            encoding = bytearray([0xC3])
+        return Instruction(encoding=encoding, kind=BranchKind.RETURN,
+                           mnemonic="ret")
+
+    # ------------------------------------------------------------------
+    # Indirect branches
+    # ------------------------------------------------------------------
+
+    def indirect_jmp(self, rng: random.Random, memory: bool = False) -> Instruction:
+        return self._ff_group(rng, reg=4, memory=memory,
+                              kind=BranchKind.INDIRECT_UNCOND, mnemonic="jmp r/m")
+
+    def indirect_call(self, rng: random.Random, memory: bool = False) -> Instruction:
+        return self._ff_group(rng, reg=2, memory=memory,
+                              kind=BranchKind.INDIRECT_CALL, mnemonic="call r/m")
+
+    def _ff_group(self, rng: random.Random, reg: int, memory: bool,
+                  kind: BranchKind, mnemonic: str) -> Instruction:
+        if memory:
+            # mod=2 rm!=4: FF /reg [reg+disp32] -> 6 bytes.
+            modrm = _modrm(2, reg, _rand_rm_not4(rng))
+            encoding = bytearray([0xFF, modrm]) + bytearray(_rand_imm(rng, 4))
+        else:
+            modrm = _modrm(3, reg, _rand_reg(rng))
+            encoding = bytearray([0xFF, modrm])
+        return Instruction(encoding=encoding, kind=kind, mnemonic=mnemonic)
+
+
+# ----------------------------------------------------------------------
+# Filler body builders, grouped by exact encoded length.
+# ----------------------------------------------------------------------
+
+def _body_1(rng: random.Random) -> bytes:
+    return bytes([rng.choice(_ONE_BYTE_OPS)])
+
+
+def _body_2_imm8(rng: random.Random) -> bytes:
+    op = rng.choice((0x04, 0x0C, 0x24, 0x2C, 0x34, 0x3C, 0xA8, 0x6A,
+                     0xB0, 0xB3, 0xB7))
+    return bytes([op]) + _rand_imm(rng, 1)
+
+
+def _body_2_modrm_reg(rng: random.Random) -> bytes:
+    op = rng.choice(_MODRM_OPS)
+    return bytes([op, _modrm(3, _rand_reg(rng), _rand_reg(rng))])
+
+
+def _body_3_modrm_disp8(rng: random.Random) -> bytes:
+    op = rng.choice(_MODRM_OPS)
+    return bytes([op, _modrm(1, _rand_reg(rng), _rand_rm_not4(rng))]) + _rand_imm(rng, 1)
+
+
+def _body_3_grp1_imm8(rng: random.Random) -> bytes:
+    return bytes([0x83, _modrm(3, rng.randrange(8), _rand_reg(rng))]) + _rand_imm(rng, 1)
+
+
+def _body_3_escape_modrm(rng: random.Random) -> bytes:
+    op = rng.choice((0xB6, 0xB7, 0xBE, 0xBF, 0xAF, 0x1F))
+    return bytes([0x0F, op, _modrm(3, _rand_reg(rng), _rand_reg(rng))])
+
+
+def _body_4_modrm_sib_disp8(rng: random.Random) -> bytes:
+    op = rng.choice(_MODRM_OPS)
+    return bytes([op, _modrm(1, _rand_reg(rng), 4), _rand_sib(rng)]) + _rand_imm(rng, 1)
+
+
+def _body_4_escape_disp8(rng: random.Random) -> bytes:
+    op = rng.choice((0xB6, 0xB7, 0xBE, 0xBF, 0xAF, 0x1F))
+    return bytes([0x0F, op, _modrm(1, _rand_reg(rng), _rand_rm_not4(rng))]) + _rand_imm(rng, 1)
+
+
+def _body_5_mov_imm32(rng: random.Random) -> bytes:
+    return bytes([0xB8 + _rand_reg(rng)]) + _rand_imm(rng, 4)
+
+
+def _body_5_push_imm32(rng: random.Random) -> bytes:
+    return bytes([0x68]) + _rand_imm(rng, 4)
+
+
+def _body_5_escape_sib_disp8(rng: random.Random) -> bytes:
+    op = rng.choice((0xB6, 0xB7, 0xBE, 0xBF, 0xAF, 0x1F))
+    return bytes([0x0F, op, _modrm(1, _rand_reg(rng), 4), _rand_sib(rng)]) + _rand_imm(rng, 1)
+
+
+def _body_6_grp1_imm32(rng: random.Random) -> bytes:
+    return bytes([0x81, _modrm(3, rng.randrange(8), _rand_reg(rng))]) + _rand_imm(rng, 4)
+
+
+def _body_6_modrm_disp32(rng: random.Random) -> bytes:
+    op = rng.choice(_MODRM_OPS)
+    return bytes([op, _modrm(2, _rand_reg(rng), _rand_rm_not4(rng))]) + _rand_imm(rng, 4)
+
+
+def _body_7_modrm_sib_disp32(rng: random.Random) -> bytes:
+    op = rng.choice(_MODRM_OPS)
+    return bytes([op, _modrm(2, _rand_reg(rng), 4), _rand_sib(rng)]) + _rand_imm(rng, 4)
+
+
+def _body_7_grp1_disp8_imm32(rng: random.Random) -> bytes:
+    return (bytes([0x81, _modrm(1, rng.randrange(8), _rand_rm_not4(rng))])
+            + _rand_imm(rng, 1) + _rand_imm(rng, 4))
+
+
+def _body_8_grp1_sib_disp8_imm32(rng: random.Random) -> bytes:
+    return (bytes([0x81, _modrm(1, rng.randrange(8), 4), _rand_sib(rng)])
+            + _rand_imm(rng, 1) + _rand_imm(rng, 4))
+
+
+def _body_9_moffs(rng: random.Random) -> bytes:
+    return bytes([rng.choice((0xA0, 0xA1, 0xA2, 0xA3))]) + _rand_imm(rng, 8)
+
+
+def _body_10_grp1_disp32_imm32(rng: random.Random) -> bytes:
+    return (bytes([0x81, _modrm(2, rng.randrange(8), _rand_rm_not4(rng))])
+            + _rand_imm(rng, 4) + _rand_imm(rng, 4))
+
+
+def _body_11_grp1_sib_disp32_imm32(rng: random.Random) -> bytes:
+    return (bytes([0x81, _modrm(2, rng.randrange(8), 4), _rand_sib(rng)])
+            + _rand_imm(rng, 4) + _rand_imm(rng, 4))
+
+
+_BODY_BUILDERS_BY_LENGTH: dict[int, list] = {
+    1: [_body_1],
+    2: [_body_2_imm8, _body_2_modrm_reg],
+    3: [_body_3_modrm_disp8, _body_3_grp1_imm8, _body_3_escape_modrm],
+    4: [_body_4_modrm_sib_disp8, _body_4_escape_disp8],
+    5: [_body_5_mov_imm32, _body_5_push_imm32, _body_5_escape_sib_disp8],
+    6: [_body_6_grp1_imm32, _body_6_modrm_disp32],
+    7: [_body_7_modrm_sib_disp32, _body_7_grp1_disp8_imm32],
+    8: [_body_8_grp1_sib_disp8_imm32],
+    9: [_body_9_moffs],
+    10: [_body_10_grp1_disp32_imm32],
+    11: [_body_11_grp1_sib_disp32_imm32],
+}
+_MAX_BODY_LEN = max(_BODY_BUILDERS_BY_LENGTH)

@@ -1,0 +1,294 @@
+"""Opcode space for the synthetic x86-like ISA.
+
+The tables below drive both the encoder and the (length) decoder.  The map
+is deliberately modelled on real x86-64: the same prefix bytes, the same
+branch opcodes (``0x70-0x7F`` Jcc rel8, ``0xE8`` call rel32, ``0xE9``/``0xEB``
+jmp, ``0xC3``/``0xC2`` ret, ``0xFF /2 /3 /4 /5`` indirect, ``0x0F 0x8x`` Jcc
+rel32), the real ModRM/SIB displacement rules, and a comparable set of
+*invalid* primary opcodes (the bytes x86-64 dropped).  Non-branch opcodes
+are assigned formats with realistic lengths but are not semantically
+modelled -- the simulator only ever needs lengths and branch behaviour.
+
+Formats
+-------
+Each opcode maps to an :class:`OpcodeInfo` with a :class:`Format`:
+
+* ``FIXED``     -- opcode plus ``imm_bytes`` of immediate, no ModRM.
+* ``MODRM``     -- opcode + ModRM (+ SIB + displacement) + ``imm_bytes``.
+* ``REL``       -- PC-relative branch with ``imm_bytes`` of signed offset.
+* ``RET``       -- return; ``imm_bytes`` of popped-bytes immediate.
+* ``GROUP_FF``  -- the indirect/misc group: branchness depends on ModRM.reg.
+* ``ESCAPE``    -- 0x0F two-byte escape.
+* ``PREFIX``    -- legacy/REX prefix byte.
+* ``INVALID``   -- undefined encoding; decode fails here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.branch import BranchKind
+
+#: Hard architectural limit, as on x86.
+MAX_INSTRUCTION_LENGTH = 15
+
+
+class Format(enum.Enum):
+    FIXED = "fixed"
+    MODRM = "modrm"
+    REL = "rel"
+    RET = "ret"
+    GROUP_FF = "group_ff"
+    ESCAPE = "escape"
+    PREFIX = "prefix"
+    INVALID = "invalid"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static decode information for one opcode byte (or escape pair)."""
+
+    format: Format
+    imm_bytes: int = 0
+    kind: BranchKind = BranchKind.NOT_BRANCH
+    mnemonic: str = "op"
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind.is_branch or self.format is Format.GROUP_FF
+
+
+#: Legacy prefixes plus REX (0x40-0x4F), treated uniformly as one-byte
+#: prefixes for length purposes.
+PREFIX_BYTES = frozenset(
+    [0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67, 0xF0, 0xF2, 0xF3]
+    + list(range(0x40, 0x50))
+)
+
+#: Primary opcodes that are undefined in this ISA (mirrors bytes that
+#: x86-64 invalidated).  Hitting one of these mid-shadow-decode kills the
+#: candidate path.
+INVALID_PRIMARY = frozenset(
+    [0x06, 0x07, 0x0E, 0x16, 0x17, 0x1E, 0x1F, 0x27, 0x2F, 0x37, 0x3F,
+     0x60, 0x61, 0x62, 0x82, 0x9A, 0xD4, 0xD5, 0xD6, 0xEA, 0xF1]
+)
+
+
+def _build_primary_map() -> dict[int, OpcodeInfo]:
+    table: dict[int, OpcodeInfo] = {}
+
+    def put(byte: int, info: OpcodeInfo) -> None:
+        table[byte] = info
+
+    # Prefixes and escape.
+    for byte in PREFIX_BYTES:
+        put(byte, OpcodeInfo(Format.PREFIX, mnemonic="prefix"))
+    put(0x0F, OpcodeInfo(Format.ESCAPE, mnemonic="escape"))
+
+    # ALU rows 0x00..0x3F: op r/m,r ; op r,r/m ; op al,imm8 ; op eax,imm32.
+    alu_names = ["add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"]
+    for row, name in enumerate(alu_names):
+        base = row * 8
+        for offset in range(4):
+            byte = base + offset
+            if byte not in table and byte not in INVALID_PRIMARY:
+                put(byte, OpcodeInfo(Format.MODRM, mnemonic=name))
+        if base + 4 not in INVALID_PRIMARY:
+            put(base + 4, OpcodeInfo(Format.FIXED, imm_bytes=1, mnemonic=f"{name} al,imm8"))
+        if base + 5 not in INVALID_PRIMARY:
+            put(base + 5, OpcodeInfo(Format.FIXED, imm_bytes=4, mnemonic=f"{name} eax,imm32"))
+
+    # 0x50-0x5F push/pop reg: one byte.
+    for byte in range(0x50, 0x60):
+        put(byte, OpcodeInfo(Format.FIXED, mnemonic="push/pop"))
+
+    # 0x63 movsxd, 0x68 push imm32, 0x69 imul r,r/m,imm32, 0x6A push imm8,
+    # 0x6B imul r,r/m,imm8.
+    put(0x63, OpcodeInfo(Format.MODRM, mnemonic="movsxd"))
+    put(0x68, OpcodeInfo(Format.FIXED, imm_bytes=4, mnemonic="push imm32"))
+    put(0x69, OpcodeInfo(Format.MODRM, imm_bytes=4, mnemonic="imul imm32"))
+    put(0x6A, OpcodeInfo(Format.FIXED, imm_bytes=1, mnemonic="push imm8"))
+    put(0x6B, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="imul imm8"))
+    # String ops 0x6C-0x6F.
+    for byte in range(0x6C, 0x70):
+        put(byte, OpcodeInfo(Format.FIXED, mnemonic="ins/outs"))
+
+    # 0x70-0x7F: Jcc rel8.
+    for byte in range(0x70, 0x80):
+        put(byte, OpcodeInfo(Format.REL, imm_bytes=1,
+                             kind=BranchKind.DIRECT_COND, mnemonic="jcc rel8"))
+
+    # 0x80/0x81/0x83 group-1 imm; 0x84-0x8B test/xchg/mov; 0x8D lea;
+    # 0x8F pop r/m.
+    put(0x80, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="grp1 imm8"))
+    put(0x81, OpcodeInfo(Format.MODRM, imm_bytes=4, mnemonic="grp1 imm32"))
+    put(0x83, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="grp1 imm8s"))
+    for byte in range(0x84, 0x8C):
+        put(byte, OpcodeInfo(Format.MODRM, mnemonic="test/xchg/mov"))
+    put(0x8D, OpcodeInfo(Format.MODRM, mnemonic="lea"))
+    put(0x8E, OpcodeInfo(Format.MODRM, mnemonic="mov sreg"))
+    put(0x8F, OpcodeInfo(Format.MODRM, mnemonic="pop r/m"))
+
+    # 0x90-0x9F one-byte ops (nop/xchg/cwde/...), except 0x9A invalid.
+    for byte in range(0x90, 0xA0):
+        if byte not in INVALID_PRIMARY:
+            put(byte, OpcodeInfo(Format.FIXED, mnemonic="nop/xchg"))
+
+    # 0xA0-0xA3 mov moffs (8-byte absolute on x86-64).
+    for byte in range(0xA0, 0xA4):
+        put(byte, OpcodeInfo(Format.FIXED, imm_bytes=8, mnemonic="mov moffs"))
+    for byte in range(0xA4, 0xA8):
+        put(byte, OpcodeInfo(Format.FIXED, mnemonic="movs/cmps"))
+    put(0xA8, OpcodeInfo(Format.FIXED, imm_bytes=1, mnemonic="test al,imm8"))
+    put(0xA9, OpcodeInfo(Format.FIXED, imm_bytes=4, mnemonic="test eax,imm32"))
+    for byte in range(0xAA, 0xB0):
+        put(byte, OpcodeInfo(Format.FIXED, mnemonic="stos/lods/scas"))
+
+    # 0xB0-0xB7 mov r8,imm8 ; 0xB8-0xBF mov r32,imm32.
+    for byte in range(0xB0, 0xB8):
+        put(byte, OpcodeInfo(Format.FIXED, imm_bytes=1, mnemonic="mov r8,imm8"))
+    for byte in range(0xB8, 0xC0):
+        put(byte, OpcodeInfo(Format.FIXED, imm_bytes=4, mnemonic="mov r32,imm32"))
+
+    # 0xC0/0xC1 shift imm8; 0xC2/0xC3 ret; 0xC6/0xC7 mov imm.
+    put(0xC0, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="shift imm8"))
+    put(0xC1, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="shift imm8"))
+    put(0xC2, OpcodeInfo(Format.RET, imm_bytes=2,
+                         kind=BranchKind.RETURN, mnemonic="ret imm16"))
+    put(0xC3, OpcodeInfo(Format.RET, kind=BranchKind.RETURN, mnemonic="ret"))
+    put(0xC6, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="mov r/m,imm8"))
+    put(0xC7, OpcodeInfo(Format.MODRM, imm_bytes=4, mnemonic="mov r/m,imm32"))
+    put(0xC8, OpcodeInfo(Format.FIXED, imm_bytes=3, mnemonic="enter"))
+    put(0xC9, OpcodeInfo(Format.FIXED, mnemonic="leave"))
+    put(0xCA, OpcodeInfo(Format.RET, imm_bytes=2,
+                         kind=BranchKind.RETURN, mnemonic="retf imm16"))
+    put(0xCB, OpcodeInfo(Format.RET, kind=BranchKind.RETURN, mnemonic="retf"))
+    put(0xCC, OpcodeInfo(Format.FIXED, mnemonic="int3"))
+    put(0xCD, OpcodeInfo(Format.FIXED, imm_bytes=1, mnemonic="int imm8"))
+    put(0xCE, OpcodeInfo(Format.FIXED, mnemonic="into"))
+    put(0xCF, OpcodeInfo(Format.FIXED, mnemonic="iret"))
+
+    # 0xD0-0xD3 shifts; 0xD7 xlat; 0xD8-0xDF x87 with ModRM.
+    for byte in range(0xD0, 0xD4):
+        put(byte, OpcodeInfo(Format.MODRM, mnemonic="shift"))
+    put(0xD7, OpcodeInfo(Format.FIXED, mnemonic="xlat"))
+    for byte in range(0xD8, 0xE0):
+        put(byte, OpcodeInfo(Format.MODRM, mnemonic="x87"))
+
+    # 0xE0-0xE3 loop/jcxz rel8 (conditional direct).
+    for byte in range(0xE0, 0xE4):
+        put(byte, OpcodeInfo(Format.REL, imm_bytes=1,
+                             kind=BranchKind.DIRECT_COND, mnemonic="loop rel8"))
+    # 0xE4-0xE7 in/out imm8.
+    for byte in range(0xE4, 0xE8):
+        put(byte, OpcodeInfo(Format.FIXED, imm_bytes=1, mnemonic="in/out"))
+    put(0xE8, OpcodeInfo(Format.REL, imm_bytes=4,
+                         kind=BranchKind.CALL, mnemonic="call rel32"))
+    put(0xE9, OpcodeInfo(Format.REL, imm_bytes=4,
+                         kind=BranchKind.DIRECT_UNCOND, mnemonic="jmp rel32"))
+    put(0xEB, OpcodeInfo(Format.REL, imm_bytes=1,
+                         kind=BranchKind.DIRECT_UNCOND, mnemonic="jmp rel8"))
+    for byte in range(0xEC, 0xF0):
+        put(byte, OpcodeInfo(Format.FIXED, mnemonic="in/out dx"))
+
+    put(0xF4, OpcodeInfo(Format.FIXED, mnemonic="hlt"))
+    put(0xF5, OpcodeInfo(Format.FIXED, mnemonic="cmc"))
+    put(0xF6, OpcodeInfo(Format.MODRM, imm_bytes=1, mnemonic="grp3 imm8"))
+    put(0xF7, OpcodeInfo(Format.MODRM, imm_bytes=4, mnemonic="grp3 imm32"))
+    for byte in range(0xF8, 0xFE):
+        put(byte, OpcodeInfo(Format.FIXED, mnemonic="flags"))
+    put(0xFE, OpcodeInfo(Format.MODRM, mnemonic="inc/dec r/m8"))
+    put(0xFF, OpcodeInfo(Format.GROUP_FF, mnemonic="grp5"))
+
+    for byte in INVALID_PRIMARY:
+        put(byte, OpcodeInfo(Format.INVALID, mnemonic="(bad)"))
+
+    # Any byte not yet assigned decodes as a one-byte op, keeping the map
+    # dense the way x86's is.
+    for byte in range(256):
+        table.setdefault(byte, OpcodeInfo(Format.FIXED, mnemonic="op"))
+    return table
+
+
+def _build_secondary_map() -> dict[int, OpcodeInfo]:
+    """The 0x0F xx two-byte map."""
+    table: dict[int, OpcodeInfo] = {}
+
+    # Jcc rel32.
+    for byte in range(0x80, 0x90):
+        table[byte] = OpcodeInfo(Format.REL, imm_bytes=4,
+                                 kind=BranchKind.DIRECT_COND,
+                                 mnemonic="jcc rel32")
+    # setcc / cmov / movzx / movsx / sse moves: ModRM forms.
+    modrm_ranges = [
+        (0x10, 0x18), (0x28, 0x2A), (0x2E, 0x30), (0x40, 0x50),
+        (0x51, 0x60), (0x6E, 0x70), (0x7E, 0x80), (0x90, 0xA0),
+        (0xA3, 0xA4), (0xAB, 0xAC), (0xAF, 0xB0), (0xB0, 0xB2),
+        (0xB6, 0xB8), (0xBE, 0xC0), (0xC0, 0xC2),
+    ]
+    for lo, hi in modrm_ranges:
+        for byte in range(lo, hi):
+            table.setdefault(byte, OpcodeInfo(Format.MODRM, mnemonic="0f op"))
+    table[0x1F] = OpcodeInfo(Format.MODRM, mnemonic="nop r/m")
+    table[0x05] = OpcodeInfo(Format.FIXED, mnemonic="syscall")
+    table[0x0B] = OpcodeInfo(Format.FIXED, mnemonic="ud2")
+    table[0x31] = OpcodeInfo(Format.FIXED, mnemonic="rdtsc")
+    table[0xA2] = OpcodeInfo(Format.FIXED, mnemonic="cpuid")
+    table[0x0D] = OpcodeInfo(Format.MODRM, mnemonic="prefetch")
+    table[0x18] = OpcodeInfo(Format.MODRM, mnemonic="hint nop")
+    table[0xC8] = OpcodeInfo(Format.FIXED, mnemonic="bswap")
+
+    # Unassigned secondary opcodes are invalid -- this is the main source
+    # of head-decode path elimination.
+    for byte in range(256):
+        table.setdefault(byte, OpcodeInfo(Format.INVALID, mnemonic="(bad 0f)"))
+    return table
+
+
+PRIMARY_MAP: dict[int, OpcodeInfo] = _build_primary_map()
+SECONDARY_MAP: dict[int, OpcodeInfo] = _build_secondary_map()
+
+#: ModRM.reg values in the 0xFF group that are control transfers.
+FF_REG_INDIRECT_CALL = frozenset({2, 3})
+FF_REG_INDIRECT_JMP = frozenset({4, 5})
+
+
+def ff_group_kind(modrm: int) -> BranchKind:
+    """Branch kind of an ``0xFF`` group instruction given its ModRM byte."""
+    reg = (modrm >> 3) & 0x7
+    if reg in FF_REG_INDIRECT_CALL:
+        return BranchKind.INDIRECT_CALL
+    if reg in FF_REG_INDIRECT_JMP:
+        return BranchKind.INDIRECT_UNCOND
+    return BranchKind.NOT_BRANCH
+
+
+def modrm_tail_length(modrm: int, sib: int | None) -> int | None:
+    """Bytes that follow the opcode for a ModRM operand (incl. the ModRM).
+
+    Implements the 32/64-bit addressing rules: SIB when rm==4 and mod!=3;
+    disp32 for mod==0/rm==5 (RIP-relative) and for SIB base==5 with mod==0.
+    Returns ``None`` when an SIB byte is required to know the length but
+    ``sib`` was not supplied (caller must fetch it first).
+    """
+    mod = (modrm >> 6) & 0x3
+    rm = modrm & 0x7
+    if mod == 3:
+        return 1
+    length = 1
+    if rm == 4:
+        if sib is None:
+            return None
+        length += 1
+        base = sib & 0x7
+        if mod == 0 and base == 5:
+            return length + 4
+    if mod == 1:
+        return length + 1
+    if mod == 2:
+        return length + 4
+    # mod == 0
+    if rm == 5:
+        return length + 4
+    return length

@@ -1,0 +1,178 @@
+"""Workload characterisation.
+
+Quantifies the properties the paper's argument rests on, directly from a
+program + trace: branch-type mix, dynamic footprint, branch reuse
+distances (the "cold branch" evidence), and shadow-region geometry (how
+many static branches live in head/tail shadow positions of their lines).
+Used for calibration reports and by the workload-characterisation tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.branch import BranchKind
+from repro.workloads.program import LINE_SIZE, Program
+from repro.workloads.trace import BlockRecord
+
+
+@dataclass
+class ReuseProfile:
+    """Branch reuse distances, measured in distinct branch PCs."""
+
+    median: float
+    p90: float
+    over_8k_fraction: float  # recurrences beyond an 8K-entry BTB's reach
+    samples: int
+
+
+def branch_reuse_profile(records: list[BlockRecord],
+                         btb_entries: int = 8192) -> ReuseProfile:
+    """Stack-distance-style reuse profile of the branch-PC stream.
+
+    A branch whose reuse distance (distinct branch PCs since its last
+    execution) exceeds the BTB capacity is a *cold* recurrence -- the
+    population Skia targets.
+    """
+    last_seen: dict[int, int] = {}
+    # Approximate distinct-count via timestamps + a Fenwick tree over
+    # positions of most-recent occurrences (exact stack distances).
+    positions: list[int] = []
+    tree: list[int] = [0] * (len(records) + 1)
+
+    def tree_add(index: int, delta: int) -> None:
+        index += 1
+        while index < len(tree):
+            tree[index] += delta
+            index += index & -index
+
+    def tree_sum(index: int) -> int:
+        index += 1
+        total = 0
+        while index > 0:
+            total += tree[index]
+            index -= index & -index
+        return total
+
+    distances: list[int] = []
+    for position, record in enumerate(records):
+        pc = record.branch_pc
+        previous = last_seen.get(pc)
+        if previous is not None:
+            distinct_since = tree_sum(position - 1) - tree_sum(previous)
+            distances.append(distinct_since)
+            tree_add(previous, -1)
+        tree_add(position, 1)
+        last_seen[pc] = position
+        positions.append(position)
+
+    if not distances:
+        return ReuseProfile(0.0, 0.0, 0.0, 0)
+    distances.sort()
+    count = len(distances)
+    return ReuseProfile(
+        median=distances[count // 2],
+        p90=distances[int(count * 0.9)],
+        over_8k_fraction=sum(d > btb_entries for d in distances) / count,
+        samples=count,
+    )
+
+
+@dataclass
+class ShadowGeometry:
+    """Static shadow-position census over the program image.
+
+    For each basic block's terminator, classify where the *next* static
+    branch bytes sit relative to the block's line usage: branches after
+    a block's (potentially taken) exit within the same line are tail-
+    shadow candidates; branches before block entry offsets are head-
+    shadow candidates.
+    """
+
+    total_branches: int = 0
+    tail_shadow_candidates: int = 0
+    head_shadow_candidates: int = 0
+    eligible_branches: int = 0  # DirectUncond/Call/Return
+
+    @property
+    def tail_fraction(self) -> float:
+        return (self.tail_shadow_candidates / self.total_branches
+                if self.total_branches else 0.0)
+
+    @property
+    def eligible_fraction(self) -> float:
+        return (self.eligible_branches / self.total_branches
+                if self.total_branches else 0.0)
+
+
+def shadow_geometry(program: Program) -> ShadowGeometry:
+    geometry = ShadowGeometry()
+    blocks = sorted(program.iter_blocks(), key=lambda b: b.start_pc)
+    exits = [(block.terminator.pc + block.terminator.length)
+             for block in blocks]
+    entries = [block.start_pc for block in blocks]
+    exit_index = 0
+
+    for block in blocks:
+        terminator = block.terminator
+        geometry.total_branches += 1
+        if terminator.kind.sbb_eligible:
+            geometry.eligible_branches += 1
+        line = terminator.pc & ~(LINE_SIZE - 1)
+        # Tail candidate: some earlier block in the same line exits
+        # before this branch starts.
+        while exit_index < len(exits) and exits[exit_index] <= terminator.pc:
+            exit_index += 1
+        for earlier_exit in exits[max(0, exit_index - 8):exit_index]:
+            if line <= earlier_exit <= terminator.pc:
+                geometry.tail_shadow_candidates += 1
+                break
+        # Head candidate: some block entry in the same line lies after
+        # this branch's end.
+        end = terminator.pc + terminator.length
+        line_end = line + LINE_SIZE
+        if any(end <= entry < line_end for entry in entries
+               if line <= entry):
+            geometry.head_shadow_candidates += 1
+    return geometry
+
+
+@dataclass
+class WorkloadReport:
+    """One-stop characterisation used by EXPERIMENTS.md."""
+
+    name: str
+    footprint_bytes: int
+    static_branches: Counter = field(default_factory=Counter)
+    dynamic_mix: Counter = field(default_factory=Counter)
+    reuse: ReuseProfile | None = None
+
+    def render(self) -> str:
+        lines = [
+            f"workload {self.name}: footprint {self.footprint_bytes // 1024}KB,"
+            f" static branches {sum(self.static_branches.values())}",
+        ]
+        total = sum(self.dynamic_mix.values()) or 1
+        mix = ", ".join(
+            f"{kind.value}={count / total:.1%}"
+            for kind, count in self.dynamic_mix.most_common())
+        lines.append(f"  dynamic mix: {mix}")
+        if self.reuse is not None:
+            lines.append(
+                f"  branch reuse: median={self.reuse.median:.0f} "
+                f"p90={self.reuse.p90:.0f} "
+                f"beyond-8K={self.reuse.over_8k_fraction:.1%}")
+        return "\n".join(lines)
+
+
+def characterise(program: Program,
+                 records: list[BlockRecord]) -> WorkloadReport:
+    report = WorkloadReport(name=program.name,
+                            footprint_bytes=len(program.image))
+    for block in program.iter_blocks():
+        report.static_branches[block.terminator.kind] += 1
+    for record in records:
+        report.dynamic_mix[record.kind] += 1
+    report.reuse = branch_reuse_profile(records)
+    return report

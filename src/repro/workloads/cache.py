@@ -1,0 +1,80 @@
+"""Memoisation of generated programs and traces.
+
+Experiments sweep dozens of front-end configurations over the same
+(workload, seed) pair; regenerating a megabyte program or a half-million
+record trace per configuration would dominate runtime.  The cache keys on
+everything that affects the artefact and nothing else.
+
+The cache is in-process only: programs are cheap enough to rebuild per
+Python session, and pickling them would just risk staleness.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.bolt import bolt_optimize
+from repro.workloads.codegen import ProgramGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import Program
+from repro.workloads.trace import BlockRecord, TraceGenerator
+
+
+class WorkloadCache:
+    """Caches programs and materialised traces."""
+
+    def __init__(self, max_traces: int = 4):
+        self._programs: dict[tuple[str, int, bool], Program] = {}
+        self._traces: dict[tuple[str, int, bool, int, int], list[BlockRecord]] = {}
+        self._trace_order: list[tuple] = []
+        self._max_traces = max_traces
+
+    def program(self, workload: str, seed: int = 0,
+                bolted: bool = False) -> Program:
+        key = (workload, seed, bolted)
+        cached = self._programs.get(key)
+        if cached is None:
+            profile = get_profile(workload)
+            cached = ProgramGenerator(profile, seed=seed).generate()
+            if bolted:
+                cached = bolt_optimize(cached, seed=seed)
+            self._programs[key] = cached
+        return cached
+
+    def trace(self, workload: str, n_records: int, seed: int = 0,
+              trace_seed: int = 0, bolted: bool = False) -> list[BlockRecord]:
+        key = (workload, seed, bolted, trace_seed, n_records)
+        cached = self._traces.get(key)
+        if cached is None:
+            program = self.program(workload, seed=seed, bolted=bolted)
+            profile = get_profile(workload)
+            cached = TraceGenerator(
+                program, seed=trace_seed,
+                dispatch_run_range=profile.dispatch_run_range,
+            ).records(n_records)
+            self._traces[key] = cached
+            self._trace_order.append(key)
+            # Traces are large; keep only the most recent few.
+            while len(self._trace_order) > self._max_traces:
+                evicted = self._trace_order.pop(0)
+                self._traces.pop(evicted, None)
+        return cached
+
+    def clear(self) -> None:
+        self._programs.clear()
+        self._traces.clear()
+        self._trace_order.clear()
+
+
+#: Process-wide default cache used by the harness.
+GLOBAL_CACHE = WorkloadCache()
+
+
+def build_program(workload: str, seed: int = 0, bolted: bool = False) -> Program:
+    """Convenience accessor against the global cache."""
+    return GLOBAL_CACHE.program(workload, seed=seed, bolted=bolted)
+
+
+def build_trace(workload: str, n_records: int, seed: int = 0,
+                trace_seed: int = 0, bolted: bool = False) -> list[BlockRecord]:
+    """Convenience accessor against the global cache."""
+    return GLOBAL_CACHE.trace(workload, n_records, seed=seed,
+                              trace_seed=trace_seed, bolted=bolted)

@@ -1,0 +1,180 @@
+"""Program data model: functions, basic blocks, and the laid-out image.
+
+A :class:`Program` owns the ground truth that only the *workload* may know:
+where every instruction starts, what every branch's static target is, and
+which block follows which.  The front-end simulator never reads this
+directly -- it sees only the byte image (for shadow decoding) and the
+dynamic trace (for the correct-path oracle); ground truth is used for
+layout, trace generation and for *auditing* (e.g. counting how many SBB
+insertions were bogus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.branch import BranchKind
+from repro.isa.instruction import Instruction
+
+#: Instruction-cache line size used throughout (Table 1: 64B lines).
+LINE_SIZE = 64
+
+
+def line_of(pc: int) -> int:
+    """Cache-line address (line-aligned byte address) containing ``pc``."""
+    return pc & ~(LINE_SIZE - 1)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ended by exactly one branch.
+
+    ``label`` is a program-unique id used as a patch target before layout.
+    ``fallthrough_label`` is the block reached when a conditional
+    terminator is not taken (always the physically-next block of the same
+    function), or the block that a ``call`` returns into.
+    ``indirect_targets`` lists (label, weight) candidates for indirect
+    terminators; the trace generator samples among them.
+    """
+
+    label: int
+    instructions: list[Instruction] = field(default_factory=list)
+    fallthrough_label: int | None = None
+    indirect_targets: list[tuple[int, float]] = field(default_factory=list)
+    cond_taken_bias: float = 0.5
+    loop_trip: int | None = None  # deterministic trip count for back-edges
+    # Periodic direction pattern: bit (visit % pattern_len) of pattern_bits
+    # decides taken.  Deterministic (so TAGE can learn it) yet path-diverse
+    # across visits, which moves line entry/exit points around -- the
+    # source of the paper's shadow-region coverage.
+    pattern_bits: int | None = None
+    pattern_len: int = 0
+    start_pc: int = -1
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    @property
+    def size(self) -> int:
+        return sum(ins.length for ins in self.instructions)
+
+    @property
+    def end_pc(self) -> int:
+        """One past the last byte (valid only after layout)."""
+        return self.start_pc + self.size
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class Function:
+    """An ordered list of blocks; ``blocks[0]`` is the entry."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    hot: bool = False
+    call_count: int = 0  # filled by profiling for the BOLT pass
+
+    @property
+    def entry_label(self) -> int:
+        return self.blocks[0].label
+
+    @property
+    def size(self) -> int:
+        return sum(block.size for block in self.blocks)
+
+
+@dataclass
+class GroundTruthInstruction:
+    """Audit record for one laid-out instruction."""
+
+    pc: int
+    length: int
+    kind: BranchKind
+    target_pc: int | None
+
+
+class Program:
+    """A laid-out program: image bytes + CFG + ground-truth maps."""
+
+    def __init__(self, functions: list[Function], image: bytes,
+                 base_address: int, entry_label: int,
+                 name: str = "program"):
+        self.name = name
+        self.functions = functions
+        self.image = image
+        self.base_address = base_address
+        self.entry_label = entry_label
+
+        self.block_by_label: dict[int, BasicBlock] = {}
+        self.function_of_label: dict[int, Function] = {}
+        for function in functions:
+            for block in function.blocks:
+                if block.label in self.block_by_label:
+                    raise ValueError(f"duplicate block label {block.label}")
+                self.block_by_label[block.label] = block
+                self.function_of_label[block.label] = function
+
+        # Ground-truth instruction map, keyed by pc.
+        self.instruction_starts: set[int] = set()
+        self._truth: dict[int, GroundTruthInstruction] = {}
+        for function in functions:
+            for block in function.blocks:
+                for ins in block.instructions:
+                    self.instruction_starts.add(ins.pc)
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.block_by_label[self.entry_label]
+
+    def block(self, label: int) -> BasicBlock:
+        return self.block_by_label[label]
+
+    def bytes_at(self, pc: int, length: int) -> bytes:
+        offset = pc - self.base_address
+        return self.image[offset:offset + length]
+
+    def is_instruction_start(self, pc: int) -> bool:
+        """Ground-truth boundary check (used for bogus-branch auditing)."""
+        return pc in self.instruction_starts
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and reports.
+    # ------------------------------------------------------------------
+
+    def iter_blocks(self):
+        for function in self.functions:
+            yield from function.blocks
+
+    def static_branch_counts(self) -> dict[BranchKind, int]:
+        counts: dict[BranchKind, int] = {}
+        for block in self.iter_blocks():
+            kind = block.terminator.kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def footprint_lines(self) -> int:
+        """Number of distinct cache lines the image spans."""
+        first = line_of(self.base_address)
+        last = line_of(self.base_address + len(self.image) - 1)
+        return (last - first) // LINE_SIZE + 1
+
+    def describe(self) -> str:
+        counts = self.static_branch_counts()
+        branch_text = ", ".join(
+            f"{kind.value}={count}" for kind, count in sorted(
+                counts.items(), key=lambda item: item[0].value)
+        )
+        return (
+            f"Program {self.name}: {len(self.functions)} functions, "
+            f"{sum(len(f.blocks) for f in self.functions)} blocks, "
+            f"{len(self.image)} bytes ({self.footprint_lines()} lines); "
+            f"terminators: {branch_text}"
+        )

@@ -1,0 +1,219 @@
+"""Control-flow trace generation.
+
+A trace is the *correct-path oracle*: the sequence of basic blocks the
+program actually executes, with each block's terminating branch outcome.
+The front-end simulator replays it, making its own (possibly wrong)
+predictions and paying for them; an execution-driven gem5 would discover
+the same stream by executing instructions, so replaying it is equivalent
+for front-end studies as long as wrong-path *fetch* effects are modelled
+(the simulator does model them).
+
+Traces are deterministic in (program, seed): the stochastic controller
+that picks handler dispatches, loop trips and rare paths is seeded, so
+every simulator configuration replays an identical stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.isa.branch import BranchKind
+from repro.workloads.program import BasicBlock, Program
+
+
+@dataclass(frozen=True, slots=True)
+class BlockRecord:
+    """One executed basic block and its terminating branch outcome.
+
+    ``fallthrough`` is the address immediately after the branch: the
+    not-taken successor for conditionals and the return address for calls.
+    ``target`` is where control actually went when ``taken`` (branch
+    target, call entry, return address or indirect destination).
+    ``next_pc`` is always the address of the next executed block.
+    """
+
+    block_start: int
+    n_instr: int
+    branch_pc: int
+    branch_len: int
+    kind: BranchKind
+    taken: bool
+    target: int
+    fallthrough: int
+    next_pc: int
+
+
+class _IndirectChooser:
+    """Weighted sampling of indirect targets with cached cumulative weights."""
+
+    def __init__(self, block: BasicBlock, resolve):
+        if not block.indirect_targets:
+            raise ValueError(f"block {block.label} has no indirect targets")
+        labels = [label for label, _ in block.indirect_targets]
+        weights = [weight for _, weight in block.indirect_targets]
+        self.targets = [resolve(label) for label in labels]
+        self.cumulative = list(itertools.accumulate(weights))
+
+    def choose(self, rng: random.Random) -> "BasicBlock":
+        point = rng.random() * self.cumulative[-1]
+        return self.targets[bisect.bisect_right(self.cumulative, point)]
+
+
+class TraceGenerator:
+    """Replays a program's CFG with a seeded stochastic controller.
+
+    ``dispatch_run_range`` models request batching: an indirect branch
+    repeats its chosen target for a sampled run length before re-sampling,
+    as commercial dispatch loops do (the last-target predictor then covers
+    the body of each run and only the switches mispredict).
+    """
+
+    def __init__(self, program: Program, seed: int = 0,
+                 dispatch_run_range: tuple[int, int] = (2, 12)):
+        self.program = program
+        self.seed = seed
+        self.dispatch_run_range = dispatch_run_range
+        self._choosers: dict[int, _IndirectChooser] = {}
+
+    def _chooser(self, block: BasicBlock) -> _IndirectChooser:
+        chooser = self._choosers.get(block.label)
+        if chooser is None:
+            chooser = _IndirectChooser(block, self.program.block)
+            self._choosers[block.label] = chooser
+        return chooser
+
+    def _choose_indirect(self, block: BasicBlock,
+                         run_state: dict[int, tuple[BasicBlock, int]],
+                         rng: random.Random, run_lo: int,
+                         run_hi: int) -> BasicBlock:
+        """Run-length-sticky weighted choice (request batching)."""
+        state = run_state.get(block.label)
+        if state is not None:
+            target, remaining = state
+            if remaining > 0:
+                run_state[block.label] = (target, remaining - 1)
+                return target
+        target = self._chooser(block).choose(rng)
+        run_state[block.label] = (target, rng.randint(run_lo, run_hi) - 1)
+        return target
+
+    def iter_records(self, n_records: int | None = None):
+        """Yield :class:`BlockRecord` starting from the program entry.
+
+        The generated stream is infinite when ``n_records`` is None; the
+        caller decides how much to consume.
+        """
+        program = self.program
+        rng = random.Random(self.seed ^ 0x5BB)
+        block = program.entry_block
+        # Call stack of (return_block, return_pc); rets that would
+        # underflow (cannot happen with a well-formed main loop) restart
+        # at the entry.
+        stack: list[tuple[BasicBlock, int]] = []
+        # Deterministic loop counters: remaining back-edge takes per block.
+        loop_state: dict[int, int] = {}
+        # Indirect run state: (current_target, remaining) per block label.
+        run_state: dict[int, tuple[BasicBlock, int]] = {}
+        run_lo, run_hi = self.dispatch_run_range
+        emitted = 0
+
+        while n_records is None or emitted < n_records:
+            terminator = block.terminator
+            branch_pc = terminator.pc
+            branch_end = branch_pc + terminator.length
+            kind = terminator.kind
+            taken = True
+
+            if kind is BranchKind.DIRECT_COND:
+                if block.loop_trip is not None:
+                    # Back-edge: taken (trip - 1) times, then fall through.
+                    remaining = loop_state.get(block.label)
+                    if remaining is None:
+                        remaining = block.loop_trip - 1
+                    taken = remaining > 0
+                    loop_state[block.label] = (
+                        remaining - 1 if taken else block.loop_trip - 1)
+                elif block.pattern_bits is not None:
+                    # Periodic direction pattern (deterministic).
+                    visit = loop_state.get(block.label, 0)
+                    taken = bool((block.pattern_bits >> visit) & 1)
+                    loop_state[block.label] = (visit + 1) % block.pattern_len
+                else:
+                    taken = rng.random() < block.cond_taken_bias
+                target_block = program.block(terminator.target_label)
+                if taken:
+                    next_block = target_block
+                else:
+                    next_block = program.block(block.fallthrough_label)
+                actual_target = target_block.start_pc
+            elif kind is BranchKind.DIRECT_UNCOND:
+                next_block = program.block(terminator.target_label)
+                actual_target = next_block.start_pc
+            elif kind is BranchKind.CALL:
+                next_block = program.block(terminator.target_label)
+                actual_target = next_block.start_pc
+                return_block = program.block(block.fallthrough_label)
+                stack.append((return_block, branch_end))
+            elif kind is BranchKind.INDIRECT_CALL:
+                next_block = self._choose_indirect(block, run_state, rng,
+                                                   run_lo, run_hi)
+                actual_target = next_block.start_pc
+                return_block = program.block(block.fallthrough_label)
+                stack.append((return_block, branch_end))
+            elif kind is BranchKind.INDIRECT_UNCOND:
+                next_block = self._choose_indirect(block, run_state, rng,
+                                                   run_lo, run_hi)
+                actual_target = next_block.start_pc
+            elif kind is BranchKind.RETURN:
+                if stack:
+                    next_block, _ = stack.pop()
+                else:  # pragma: no cover - main never returns
+                    next_block = program.entry_block
+                actual_target = next_block.start_pc
+            else:  # pragma: no cover - blocks always end in a branch
+                raise AssertionError(f"non-branch terminator {kind}")
+
+            yield BlockRecord(
+                block_start=block.start_pc,
+                n_instr=block.num_instructions,
+                branch_pc=branch_pc,
+                branch_len=terminator.length,
+                kind=kind,
+                taken=taken,
+                target=actual_target,
+                fallthrough=branch_end,
+                next_pc=next_block.start_pc if taken else branch_end,
+            )
+            emitted += 1
+            block = next_block
+
+    def records(self, n_records: int) -> list[BlockRecord]:
+        """Materialise ``n_records`` records (deterministic per seed)."""
+        return list(self.iter_records(n_records))
+
+
+def trace_statistics(records: list[BlockRecord]) -> dict[str, float]:
+    """Summary statistics used by tests and workload reports."""
+    if not records:
+        return {"records": 0, "instructions": 0}
+    instructions = sum(record.n_instr for record in records)
+    by_kind: dict[str, int] = {}
+    taken = 0
+    distinct_branches: set[int] = set()
+    for record in records:
+        by_kind[record.kind.value] = by_kind.get(record.kind.value, 0) + 1
+        taken += record.taken
+        distinct_branches.add(record.branch_pc)
+    stats: dict[str, float] = {
+        "records": len(records),
+        "instructions": instructions,
+        "instr_per_block": instructions / len(records),
+        "taken_fraction": taken / len(records),
+        "distinct_branch_pcs": len(distinct_branches),
+    }
+    for kind, count in by_kind.items():
+        stats[f"frac_{kind}"] = count / len(records)
+    return stats

@@ -1,0 +1,112 @@
+"""Binary trace serialization.
+
+Traces are the unit of exchange for trace-driven front-end studies; this
+module gives them a compact on-disk form so experiments can reuse traces
+across processes (or ship them) without regenerating programs.
+
+Format ``SKTR`` version 1 (little endian, gzip-wrapped):
+
+* header: magic ``SKTR`` | u16 version | u16 reserved | u64 record count
+  | u64 base address hint
+* per record (26 bytes): u64 block_start | u16 n_instr | u16 branch
+  offset from block_start | u8 branch_len | u8 kind | u8 taken |
+  u8 reserved | u64 target
+
+``fallthrough`` and ``next_pc`` are reconstructed on load (they are
+derived fields), keeping records at 26 bytes -- a 300k-record trace is
+~2MB gzipped.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+import struct
+
+from repro.isa.branch import BranchKind
+from repro.workloads.trace import BlockRecord
+
+MAGIC = b"SKTR"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQQ")
+_RECORD = struct.Struct("<QHHBBBBQ")
+
+#: Stable on-disk encoding of branch kinds.
+_KIND_TO_CODE = {
+    BranchKind.DIRECT_COND: 0,
+    BranchKind.DIRECT_UNCOND: 1,
+    BranchKind.CALL: 2,
+    BranchKind.RETURN: 3,
+    BranchKind.INDIRECT_UNCOND: 4,
+    BranchKind.INDIRECT_CALL: 5,
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+
+class TraceFormatError(ValueError):
+    """Raised for corrupt or unsupported trace files."""
+
+
+def save_trace(records: list[BlockRecord], path: str | pathlib.Path,
+               base_address: int = 0) -> None:
+    """Write records to ``path`` in SKTR v1 format."""
+    path = pathlib.Path(path)
+    with gzip.open(path, "wb") as stream:
+        stream.write(_HEADER.pack(MAGIC, VERSION, 0, len(records),
+                                  base_address))
+        for record in records:
+            branch_offset = record.branch_pc - record.block_start
+            if not 0 <= branch_offset < (1 << 16):
+                raise TraceFormatError(
+                    f"branch offset {branch_offset} unencodable")
+            stream.write(_RECORD.pack(
+                record.block_start, record.n_instr, branch_offset,
+                record.branch_len, _KIND_TO_CODE[record.kind],
+                int(record.taken), 0, record.target))
+
+
+def load_trace(path: str | pathlib.Path) -> list[BlockRecord]:
+    """Read an SKTR v1 trace back into records."""
+    path = pathlib.Path(path)
+    with gzip.open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError("truncated header")
+        magic, version, _, count, _base = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported version {version}")
+        payload = stream.read(count * _RECORD.size)
+        if len(payload) != count * _RECORD.size:
+            raise TraceFormatError("truncated record payload")
+
+    records: list[BlockRecord] = []
+    for index in range(count):
+        (block_start, n_instr, branch_offset, branch_len, kind_code,
+         taken, _, target) = _RECORD.unpack_from(
+            payload, index * _RECORD.size)
+        try:
+            kind = _CODE_TO_KIND[kind_code]
+        except KeyError:
+            raise TraceFormatError(
+                f"record {index}: unknown kind code {kind_code}") from None
+        branch_pc = block_start + branch_offset
+        fallthrough = branch_pc + branch_len
+        taken_bool = bool(taken)
+        records.append(BlockRecord(
+            block_start=block_start, n_instr=n_instr, branch_pc=branch_pc,
+            branch_len=branch_len, kind=kind, taken=taken_bool,
+            target=target, fallthrough=fallthrough,
+            next_pc=target if taken_bool else fallthrough))
+    return records
+
+
+def trace_info(path: str | pathlib.Path) -> dict:
+    """Header + summary statistics without materialising semantics."""
+    records = load_trace(path)
+    from repro.workloads.trace import trace_statistics
+    stats = trace_statistics(records)
+    stats["path"] = str(path)
+    return stats

@@ -1,0 +1,57 @@
+"""Shared fixtures: a small program + trace that many test modules reuse.
+
+Session-scoped because program generation is the expensive part; tests
+never mutate these objects (simulators copy what they need).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.isa.encoder import Encoder
+from repro.workloads.codegen import ProgramGenerator
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.trace import TraceGenerator
+
+#: A deliberately tiny profile so unit/integration tests run in seconds.
+MICRO_PROFILE = WorkloadProfile(
+    name="micro",
+    n_handlers=40,
+    n_lib_funcs=30,
+    handler_blocks=(4, 8),
+    lib_blocks=(2, 4),
+    block_instrs=(1, 5),
+)
+
+
+@pytest.fixture(scope="session")
+def micro_profile() -> WorkloadProfile:
+    return MICRO_PROFILE
+
+
+@pytest.fixture(scope="session")
+def micro_program():
+    return ProgramGenerator(MICRO_PROFILE, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def micro_trace(micro_program):
+    return TraceGenerator(micro_program, seed=7).records(8_000)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def encoder() -> Encoder:
+    return Encoder()
+
+
+def make_profile(**overrides) -> WorkloadProfile:
+    """Micro profile with overrides (helper for workload tests)."""
+    return dataclasses.replace(MICRO_PROFILE, **overrides)

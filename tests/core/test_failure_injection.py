@@ -1,0 +1,105 @@
+"""Failure injection: the shadow decoder must be robust to hostile
+byte content -- corrupted lines, all-prefix runs, truncation at image
+boundaries -- because in hardware it sees raw, unvalidated bytes."""
+
+import random
+
+from repro.core.sbd import ShadowBranchDecoder
+from repro.frontend.config import SkiaConfig
+
+
+def make_sbd(image: bytes) -> ShadowBranchDecoder:
+    return ShadowBranchDecoder(image, 0, SkiaConfig())
+
+
+class TestHostileBytes:
+    def test_random_garbage_lines(self):
+        rng = random.Random(0xBAD)
+        image = bytes(rng.randrange(256) for _ in range(4096))
+        sbd = make_sbd(image)
+        for line in range(0, 4096, 64):
+            for offset in (1, 13, 37, 63):
+                head = sbd.decode_head(line + offset)
+                assert head.valid_paths >= 0
+                tail = sbd.decode_tail(line + offset)
+                for branch in tail.branches:
+                    assert line <= branch.pc < line + 64
+
+    def test_all_prefix_line(self):
+        """A line of nothing but prefixes: no instruction can complete
+        within 15 bytes, so no paths validate and nothing is inserted."""
+        image = bytes([0x66] * 128)
+        sbd = make_sbd(image)
+        head = sbd.decode_head(40)
+        assert head.valid_paths == 0
+        tail = sbd.decode_tail(8)
+        assert not tail.branches
+
+    def test_all_invalid_line(self):
+        image = bytes([0x06] * 128)
+        sbd = make_sbd(image)
+        assert sbd.decode_head(17).valid_paths == 0
+        assert not sbd.decode_tail(5).decoded_pcs
+
+    def test_all_ret_line(self):
+        """64 one-byte returns: every offset is a valid path; the line
+        must be discarded by the valid-path cutoff, protecting the SBB
+        from 64 insertions of dubious provenance."""
+        image = bytes([0xC3] * 128)
+        sbd = make_sbd(image)
+        result = sbd.decode_head(32)
+        assert result.discarded
+        assert not result.branches
+
+    def test_branch_targets_far_outside_image(self):
+        """rel32 displacement pointing gigabytes away decodes fine; the
+        SBB stores it and the front-end pays a wrong-target repair --
+        no crash at decode time."""
+        line = bytearray(64)
+        line[0:2] = bytes([0xEB, 0x10])
+        line[2:7] = bytes([0xE9, 0xFF, 0xFF, 0xFF, 0x7F])
+        sbd = make_sbd(bytes(line))
+        result = sbd.decode_tail(2)
+        assert result.branches
+        assert result.branches[0].target > 2**30
+
+    def test_image_boundary_truncation(self):
+        """Shadow regions at the very end of the image never read past
+        it."""
+        image = bytes([0x90] * 61 + [0xE9])  # truncated call at the edge
+        sbd = make_sbd(image)
+        result = sbd.decode_tail(2)
+        for pc in result.decoded_pcs:
+            assert pc < 62
+
+    def test_empty_image(self):
+        sbd = make_sbd(b"")
+        assert not sbd.decode_head(7).branches
+        assert not sbd.decode_tail(7).branches
+
+    def test_single_byte_image(self):
+        sbd = make_sbd(b"\xc3")
+        result = sbd.decode_tail(0)
+        # exit_pc=0 means the branch ended at -1; region is byte 0.
+        assert all(0 <= b.pc < 64 for b in result.branches)
+
+
+class TestAdversarialHeadRegions:
+    def test_deep_ambiguity_respects_cutoff(self):
+        """Byte patterns engineered so many offsets decode: the cutoff
+        must bound work and discard."""
+        # Alternating push (1B) instructions: every offset valid.
+        image = bytes([0x50, 0x51] * 64)
+        sbd = ShadowBranchDecoder(image, 0, SkiaConfig(max_valid_paths=6))
+        result = sbd.decode_head(48)
+        assert result.discarded
+
+    def test_pathological_region_is_linear_time(self):
+        """Path validation is memoised right-to-left; a worst-case
+        63-byte region of 1-byte ops completes instantly rather than
+        exponentially."""
+        image = bytes([0x90] * 128)
+        sbd = ShadowBranchDecoder(image, 0,
+                                  SkiaConfig(max_valid_paths=10**9))
+        result = sbd.decode_head(63)
+        assert result.valid_paths == 63

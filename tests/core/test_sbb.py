@@ -1,0 +1,155 @@
+"""Shadow Branch Buffer: structure, LRU + retired-bit replacement."""
+
+import pytest
+
+from repro.core.sbb import SBBStructure, ShadowBranchBuffer
+from repro.frontend.config import SkiaConfig
+
+
+def same_set_pcs(structure: SBBStructure, count: int, base: int = 0x40):
+    """PCs mapping to one set with distinct tags."""
+    return [base + way * 2 * structure.n_sets for way in range(count)]
+
+
+class TestSBBStructure:
+    def make(self, entries=16, assoc=4, retired=True):
+        return SBBStructure(entries, assoc, tag_bits=10, entry_bits=78,
+                            name="test", use_retired_bit=retired)
+
+    def test_insert_lookup(self):
+        structure = self.make()
+        structure.insert(0x1000, 0x2000)
+        entry = structure.lookup(0x1000)
+        assert entry is not None
+        assert entry.payload == 0x2000
+        assert not entry.retired
+
+    def test_miss(self):
+        assert self.make().lookup(0x1234) is None
+
+    def test_reinsert_updates_payload_keeps_retired(self):
+        structure = self.make()
+        structure.insert(0x1000, 1)
+        structure.mark_retired(0x1000)
+        structure.insert(0x1000, 2)
+        entry = structure.lookup(0x1000)
+        assert entry.payload == 2
+        assert entry.retired  # survives re-insertion
+
+    def test_lru_eviction(self):
+        structure = self.make()
+        pcs = same_set_pcs(structure, 5)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+        structure.insert(pcs[4], pcs[4])
+        assert structure.lookup(pcs[0]) is None
+        assert structure.lookup(pcs[4]) is not None
+
+    def test_retired_entries_evicted_last(self):
+        """Section 4.3: never-retired (possibly bogus) entries go first."""
+        structure = self.make()
+        pcs = same_set_pcs(structure, 5)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+        structure.mark_retired(pcs[0])  # LRU but retired
+        structure.insert(pcs[4], pcs[4])
+        assert structure.lookup(pcs[0]) is not None   # protected
+        assert structure.lookup(pcs[1]) is None       # bogus evicted first
+        assert structure.evictions_bogus_first == 1
+
+    def test_all_retired_falls_back_to_lru(self):
+        structure = self.make()
+        pcs = same_set_pcs(structure, 5)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+            structure.mark_retired(pc)
+        structure.insert(pcs[4], pcs[4])
+        assert structure.lookup(pcs[0]) is None
+        assert structure.evictions_lru == 1
+
+    def test_plain_lru_mode_ignores_retired(self):
+        structure = self.make(retired=False)
+        pcs = same_set_pcs(structure, 5)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+        structure.mark_retired(pcs[0])
+        structure.insert(pcs[4], pcs[4])
+        assert structure.lookup(pcs[0]) is None  # retired bit not used
+
+    def test_mark_retired_preserves_lru_order(self):
+        structure = self.make()
+        pcs = same_set_pcs(structure, 5)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+        structure.mark_retired(pcs[1])
+        structure.insert(pcs[4], pcs[4])
+        # pcs[0] is the LRU non-retired entry.
+        assert structure.lookup(pcs[0]) is None
+
+    def test_mark_retired_miss_returns_false(self):
+        assert not self.make().mark_retired(0x9999)
+
+    def test_lookup_refreshes_lru(self):
+        structure = self.make()
+        pcs = same_set_pcs(structure, 5)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+        structure.lookup(pcs[0])
+        structure.insert(pcs[4], pcs[4])
+        assert structure.lookup(pcs[0]) is not None
+        assert structure.lookup(pcs[1]) is None
+
+    def test_zero_entries_disabled(self):
+        structure = SBBStructure(0, 4, 10, 20, name="off")
+        structure.insert(0x1, 0x2)
+        assert structure.lookup(0x1) is None
+        assert not structure.mark_retired(0x1)
+        assert structure.occupancy() == 0
+
+    def test_too_few_entries_rejected(self):
+        with pytest.raises(ValueError):
+            SBBStructure(2, 4, 10, 20, name="bad")
+
+    def test_flush(self):
+        structure = self.make()
+        structure.insert(0x1, 0x2)
+        structure.flush()
+        assert structure.occupancy() == 0
+
+
+class TestShadowBranchBuffer:
+    def test_paper_sizes(self):
+        sbb = ShadowBranchBuffer(SkiaConfig())
+        assert sbb.usbb.entries == 768
+        assert sbb.rsbb.entries == 2024
+        assert sbb.size_kib == pytest.approx(12.25, abs=0.01)
+
+    def test_unconditional_routing(self):
+        sbb = ShadowBranchBuffer(SkiaConfig())
+        sbb.insert_unconditional(0x1000, 0x2000)
+        which, entry = sbb.lookup(0x1000)
+        assert which == "u"
+        assert entry.payload == 0x2000
+
+    def test_return_routing_stores_line_offset(self):
+        sbb = ShadowBranchBuffer(SkiaConfig())
+        sbb.insert_return(0x1037)
+        which, entry = sbb.lookup(0x1037)
+        assert which == "r"
+        assert entry.payload == 0x37  # 6-bit in-line offset (Fig 12)
+
+    def test_u_wins_double_hit(self):
+        sbb = ShadowBranchBuffer(SkiaConfig())
+        sbb.insert_unconditional(0x1000, 0x2000)
+        sbb.insert_return(0x1000)
+        which, _ = sbb.lookup(0x1000)
+        assert which == "u"
+
+    def test_miss(self):
+        assert ShadowBranchBuffer(SkiaConfig()).lookup(0x5) is None
+
+    def test_mark_retired_routing(self):
+        sbb = ShadowBranchBuffer(SkiaConfig())
+        sbb.insert_unconditional(0x1000, 0x2000)
+        assert sbb.mark_retired(0x1000, "u")
+        assert not sbb.mark_retired(0x1000, "r")

@@ -1,0 +1,85 @@
+"""Shadow decoder boundary conditions."""
+
+from repro.core.sbd import ShadowBranchDecoder
+from repro.frontend.config import SkiaConfig
+from repro.isa.branch import BranchKind
+
+
+def sbd_for(image: bytes, base: int = 0, **cfg) -> ShadowBranchDecoder:
+    return ShadowBranchDecoder(image, base, SkiaConfig(**cfg))
+
+
+class TestHeadBoundaries:
+    def test_entry_at_offset_one(self):
+        image = bytes([0xC3]) + bytes([0x90] * 127)
+        result = sbd_for(image).decode_head(entry_pc=1)
+        assert result.valid_paths == 1
+        assert result.branches[0].kind is BranchKind.RETURN
+
+    def test_entry_at_offset_63(self):
+        image = bytes([0x90] * 62) + bytes([0xC3]) + bytes([0x90] * 65)
+        result = sbd_for(image, max_valid_paths=10**9).decode_head(entry_pc=63)
+        assert 62 in [b.pc for b in result.branches]
+
+    def test_memo_distinguishes_entries(self):
+        image = bytes([0x90] * 128)
+        sbd = sbd_for(image, max_valid_paths=10**9)
+        first = sbd.decode_head(5)
+        second = sbd.decode_head(9)
+        assert first is not second
+        assert len(first.decoded_pcs) != len(second.decoded_pcs)
+
+    def test_nonzero_base_address(self):
+        image = bytes([0xC3]) + bytes([0x90] * 127)
+        sbd = sbd_for(image, base=0x400000)
+        result = sbd.decode_head(entry_pc=0x400001)
+        assert result.branches[0].pc == 0x400000
+
+    def test_head_region_beyond_image_is_empty(self):
+        image = bytes([0x90] * 32)  # half a line
+        sbd = sbd_for(image)
+        result = sbd.decode_head(entry_pc=64 + 7)  # next line: absent
+        assert not result.branches
+
+
+class TestTailBoundaries:
+    def test_exit_at_last_byte_of_line(self):
+        image = bytes([0x90] * 128)
+        result = sbd_for(image).decode_tail(exit_pc=63)
+        assert result.decoded_pcs == [63]
+
+    def test_exit_pc_equal_line_end_means_empty(self):
+        image = bytes([0x90] * 128)
+        result = sbd_for(image).decode_tail(exit_pc=64)
+        # The branch ended exactly at the boundary: its line has no tail.
+        assert not result.decoded_pcs
+
+    def test_base_address_offsets(self):
+        image = bytearray([0x90] * 128)
+        image[10] = 0xC3
+        sbd = sbd_for(bytes(image), base=0x400000)
+        result = sbd.decode_tail(exit_pc=0x400005)
+        assert [b.pc for b in result.branches] == [0x40000A]
+
+    def test_call_target_computed_with_base(self):
+        image = bytearray([0x90] * 128)
+        image[8:13] = bytes([0xE8, 0x10, 0x00, 0x00, 0x00])
+        sbd = sbd_for(bytes(image), base=0x400000)
+        result = sbd.decode_tail(exit_pc=0x400002)
+        call = result.branches[0]
+        assert call.target == 0x400000 + 13 + 0x10
+
+
+class TestCutoffEdge:
+    def test_exactly_max_paths_is_kept(self):
+        # 6 one-byte NOPs -> 6 valid paths == cutoff -> kept.
+        image = bytes([0x90] * 64)
+        result = sbd_for(image, max_valid_paths=6).decode_head(entry_pc=6)
+        assert result.valid_paths == 6
+        assert not result.discarded
+
+    def test_one_over_cutoff_discarded(self):
+        image = bytes([0x90] * 64)
+        result = sbd_for(image, max_valid_paths=6).decode_head(entry_pc=7)
+        assert result.valid_paths == 7
+        assert result.discarded

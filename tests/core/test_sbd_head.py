@@ -1,0 +1,177 @@
+"""Head shadow decoding (Section 3.2): Index Computation + Path
+Validation, index policies, and the valid-path cutoff."""
+
+import pytest
+
+from repro.core.sbd import ShadowBranchDecoder
+from repro.frontend.config import IndexPolicy, SkiaConfig
+from repro.isa.branch import BranchKind
+
+INVALID = 0x06  # an invalid primary opcode
+
+
+def line_with_head(head: bytes) -> bytes:
+    """A 64-byte line whose first len(head) bytes are `head`."""
+    assert len(head) <= 64
+    return bytes(head) + bytes([0x90] * (64 - len(head)))
+
+
+def make_sbd(image: bytes, policy=IndexPolicy.FIRST,
+             max_paths=6) -> ShadowBranchDecoder:
+    config = SkiaConfig(index_policy=policy, max_valid_paths=max_paths)
+    return ShadowBranchDecoder(image, 0, config)
+
+
+#: Figure-9-style head region (entry at offset 7):
+#:   offset 0: mov r32, imm32 (5 bytes, immediate = invalid bytes)
+#:   offset 5: jmp rel8 +6    (2 bytes) -> the shadow branch, target 13
+#: Valid paths start at 0 and 5; offsets 1-4 and 6 are undecodable.
+FIG9_HEAD = bytes([0xB8, INVALID, INVALID, INVALID, INVALID, 0xEB, INVALID])
+
+
+class TestIndexComputation:
+    def test_length_vector(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD))
+        lengths = sbd._index_computation(0, 7)
+        assert lengths == [5, 0, 0, 0, 0, 2, 0]
+
+    def test_zero_for_instruction_crossing_entry(self):
+        # A 5-byte mov starting at offset 4 would cross entry offset 7.
+        head = bytes([0x90, 0x90, 0x90, 0x90, 0xB8, 0x01, 0x02])
+        sbd = make_sbd(line_with_head(head))
+        lengths = sbd._index_computation(0, 7)
+        assert lengths[4] == 0  # cut off by the entry-point limit
+
+
+class TestPathValidation:
+    def test_valid_starts(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD))
+        lengths = sbd._index_computation(0, 7)
+        assert sbd._path_validation(lengths, 7) == [0, 5]
+
+    def test_path_must_land_exactly_on_entry(self):
+        # Single 2-byte instruction, entry at 3: 0 -> 2 -> invalid.
+        head = bytes([0xEB, 0x00, INVALID])
+        sbd = make_sbd(line_with_head(head))
+        lengths = sbd._index_computation(0, 3)
+        assert 0 not in sbd._path_validation(lengths, 3)
+
+    def test_all_nops_every_offset_valid(self):
+        sbd = make_sbd(line_with_head(bytes([0x90] * 8)))
+        lengths = sbd._index_computation(0, 8)
+        assert sbd._path_validation(lengths, 8) == list(range(8))
+
+
+class TestDecodeHead:
+    def test_finds_shadow_branch(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD))
+        result = sbd.decode_head(entry_pc=7)
+        assert result.valid_paths == 2
+        assert not result.discarded
+        assert result.chosen_start == 0
+        jmp = next(b for b in result.branches
+                   if b.kind is BranchKind.DIRECT_UNCOND)
+        assert jmp.pc == 5
+        assert jmp.target == 13  # pc 5 + len 2 + rel 6
+
+    def test_entry_at_line_start_is_empty(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD))
+        result = sbd.decode_head(entry_pc=64)
+        assert not result.branches
+        assert result.valid_paths == 0
+
+    def test_no_valid_paths(self):
+        head = bytes([INVALID, INVALID, INVALID])
+        sbd = make_sbd(line_with_head(head))
+        result = sbd.decode_head(entry_pc=3)
+        assert result.valid_paths == 0
+        assert not result.branches
+
+    def test_discard_when_too_many_paths(self):
+        """A NOP sled validates at every offset; above the cutoff the
+        line is discarded (Section 3.2.2 Valid Encodings)."""
+        sbd = make_sbd(line_with_head(bytes([0x90] * 10)), max_paths=6)
+        result = sbd.decode_head(entry_pc=10)
+        assert result.valid_paths == 10
+        assert result.discarded
+        assert not result.branches
+
+    def test_cutoff_configurable(self):
+        sbd = make_sbd(line_with_head(bytes([0x90] * 10)), max_paths=16)
+        result = sbd.decode_head(entry_pc=10)
+        assert not result.discarded
+
+    def test_returns_captured(self):
+        head = bytes([0xC3, INVALID])  # ret; junk
+        sbd = make_sbd(line_with_head(head))
+        # Only path from 0 would be 0 -> 1 -> dead; make entry at 1.
+        result = sbd.decode_head(entry_pc=1)
+        assert [b.kind for b in result.branches] == [BranchKind.RETURN]
+
+    def test_conditionals_ignored(self):
+        head = bytes([0x74, 0x05])  # jcc rel8
+        sbd = make_sbd(line_with_head(head))
+        result = sbd.decode_head(entry_pc=2)
+        assert not result.branches
+        assert result.decoded_pcs == [0]
+
+    def test_memoised(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD))
+        assert sbd.decode_head(7) is sbd.decode_head(7)
+
+    def test_second_line_offsets(self):
+        image = bytes([0x90] * 64) + line_with_head(FIG9_HEAD)
+        sbd = make_sbd(image)
+        result = sbd.decode_head(entry_pc=64 + 7)
+        assert result.valid_paths == 2
+        jmp = result.branches[0]
+        assert jmp.pc == 64 + 5
+        assert jmp.target == 64 + 13
+
+    def test_outside_image(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD))
+        result = sbd.decode_head(entry_pc=1000 * 64 + 7)
+        assert not result.branches
+
+
+class TestIndexPolicies:
+    def test_first_index(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD), IndexPolicy.FIRST)
+        assert sbd.decode_head(7).chosen_start == 0
+
+    def test_zero_index_uses_zero_when_valid(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD), IndexPolicy.ZERO)
+        assert sbd.decode_head(7).chosen_start == 0
+
+    def test_zero_index_falls_back(self):
+        # Offset 0 invalid; first valid path starts at 1.
+        head = bytes([INVALID, 0x90, 0x90])
+        sbd = make_sbd(line_with_head(head), IndexPolicy.ZERO)
+        assert sbd.decode_head(3).chosen_start == 1
+
+    def test_merge_index_picks_shared_position(self):
+        sbd = make_sbd(line_with_head(FIG9_HEAD), IndexPolicy.MERGE)
+        # Position 5 is visited by both valid paths; 0 by only one.
+        assert sbd.decode_head(7).chosen_start == 5
+
+    def test_policies_share_branch_when_after_merge(self):
+        for policy in IndexPolicy:
+            sbd = make_sbd(line_with_head(FIG9_HEAD), policy)
+            branches = sbd.decode_head(7).branches
+            assert any(b.pc == 5 for b in branches), policy
+
+
+class TestConvergence:
+    def test_figure8_merging_paths(self):
+        """Two different start offsets converging on the same shadow
+        branch (the paper's Figure 8 merging-path case)."""
+        # offset0: xor r,r (2 bytes: 0x31 + ModRM mod=3) then ret at 2;
+        # offset1: 0xD8 is an x87 ModRM op that *consumes* the ret byte
+        # as its ModRM and also lands on the entry -- a valid bogus path.
+        head = bytes([0x31, 0xD8, 0xC3])
+        sbd = make_sbd(line_with_head(head))
+        result = sbd.decode_head(entry_pc=3)
+        assert result.valid_paths >= 2
+        # The FIRST policy picks the offset-0 path, which sees the ret.
+        assert any(b.kind is BranchKind.RETURN and b.pc == 2
+                   for b in result.branches)

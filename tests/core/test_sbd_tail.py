@@ -1,0 +1,112 @@
+"""Tail shadow decoding (Section 3.3): unambiguous linear sweep."""
+
+from repro.core.sbd import ShadowBranchDecoder
+from repro.frontend.config import SkiaConfig
+from repro.isa.branch import BranchKind
+
+
+def make_sbd(image: bytes, base: int = 0) -> ShadowBranchDecoder:
+    return ShadowBranchDecoder(image, base, SkiaConfig())
+
+
+class TestTailDecode:
+    def test_finds_call_after_exit(self):
+        # Line: [jmp rel8][call rel32][padding...]
+        line = bytearray(64)
+        line[0:2] = bytes([0xEB, 0x10])                # taken exit at 2
+        line[2:7] = bytes([0xE8, 0x20, 0x00, 0x00, 0x00])  # shadow call
+        line[7:] = bytes([0x90] * 57)
+        result = make_sbd(bytes(line)).decode_tail(exit_pc=2)
+        kinds = [branch.kind for branch in result.branches]
+        assert BranchKind.CALL in kinds
+        call = next(b for b in result.branches if b.kind is BranchKind.CALL)
+        assert call.pc == 2
+        assert call.target == 7 + 0x20
+
+    def test_finds_return(self):
+        line = bytearray([0x90] * 64)
+        line[10] = 0xC3
+        result = make_sbd(bytes(line)).decode_tail(exit_pc=5)
+        rets = [b for b in result.branches if b.kind is BranchKind.RETURN]
+        assert len(rets) == 1
+        assert rets[0].pc == 10
+        assert rets[0].target is None
+
+    def test_conditionals_not_eligible(self):
+        line = bytearray([0x90] * 64)
+        line[10:12] = bytes([0x74, 0x05])  # jcc rel8
+        result = make_sbd(bytes(line)).decode_tail(exit_pc=5)
+        assert all(b.kind is not BranchKind.DIRECT_COND
+                   for b in result.branches)
+        assert 10 in result.decoded_pcs  # decoded, just not buffered
+
+    def test_indirect_not_eligible(self):
+        line = bytearray([0x90] * 64)
+        line[10:12] = bytes([0xFF, 0b11_100_000])  # jmp r/m
+        result = make_sbd(bytes(line)).decode_tail(exit_pc=5)
+        assert not result.branches
+
+    def test_stops_at_invalid(self):
+        line = bytearray([0x90] * 64)
+        line[8] = 0x06  # invalid
+        line[20] = 0xC3  # unreachable past the invalid byte
+        result = make_sbd(bytes(line)).decode_tail(exit_pc=5)
+        assert not result.branches
+        assert max(result.decoded_pcs) < 8
+
+    def test_stops_at_line_end(self):
+        """An instruction straddling the line boundary is not decoded."""
+        line = bytearray([0x90] * 64)
+        line[60:64] = bytes([0xE8, 0x00, 0x00, 0x00])  # call cut off at 64
+        result = make_sbd(bytes(line) + bytes(64)).decode_tail(exit_pc=58)
+        assert all(b.pc + 5 <= 64 for b in result.branches)
+        assert 60 not in [b.pc for b in result.branches]
+
+    def test_empty_region_when_exit_at_line_boundary(self):
+        image = bytes([0x90] * 128)
+        result = make_sbd(image).decode_tail(exit_pc=64)
+        assert not result.branches
+        assert not result.decoded_pcs
+
+    def test_exit_mid_line_second_line(self):
+        image = bytearray([0x90] * 128)
+        image[70] = 0xC3
+        result = make_sbd(bytes(image)).decode_tail(exit_pc=66)
+        assert [b.pc for b in result.branches] == [70]
+
+    def test_no_bogus_from_true_boundary(self, micro_program):
+        """Starting at a genuine instruction boundary, tail decode only
+        reports true instruction starts (tail decoding cannot produce
+        bogus branches -- Section 3.4)."""
+        sbd = ShadowBranchDecoder(micro_program.image,
+                                  micro_program.base_address, SkiaConfig())
+        checked = 0
+        for block in micro_program.iter_blocks():
+            terminator = block.terminator
+            if not terminator.kind.is_branch:
+                continue
+            exit_pc = terminator.pc + terminator.length
+            result = sbd.decode_tail(exit_pc)
+            for pc in result.decoded_pcs:
+                # Every decoded pc is either a true boundary or inside
+                # inter-function NOP padding (also true boundaries from
+                # the decoder's perspective: 0x90 bytes).
+                if not micro_program.is_instruction_start(pc):
+                    offset = pc - micro_program.base_address
+                    assert micro_program.image[offset] == 0x90
+            checked += 1
+            if checked > 300:
+                break
+        assert checked > 0
+
+    def test_memoised(self):
+        image = bytes([0x90] * 64)
+        sbd = make_sbd(image)
+        first = sbd.decode_tail(exit_pc=5)
+        second = sbd.decode_tail(exit_pc=5)
+        assert first is second
+
+    def test_region_outside_image(self):
+        sbd = make_sbd(bytes([0x90] * 64))
+        result = sbd.decode_tail(exit_pc=1000)
+        assert not result.branches

@@ -1,0 +1,172 @@
+"""Skia integration component: FTQ-entry hooks, gating, auditing."""
+
+import pytest
+
+from repro.core.skia import Skia
+from repro.frontend.config import SkiaConfig
+from repro.frontend.stats import SimStats
+
+INVALID = 0x06
+
+
+def image_with(head_line: bytes) -> bytes:
+    return bytes(head_line) + bytes([0x90] * (256 - len(head_line)))
+
+
+def always_present(_pc: int) -> bool:
+    return True
+
+
+def never_present(_pc: int) -> bool:
+    return False
+
+
+@pytest.fixture()
+def stats():
+    return SimStats()
+
+
+def make_skia(image: bytes, **config_kwargs) -> Skia:
+    return Skia(image=image, base_address=0,
+                config=SkiaConfig(**config_kwargs))
+
+
+class TestConstruction:
+    def test_rejects_disabled_config(self):
+        with pytest.raises(ValueError):
+            Skia(image=b"\x90", base_address=0,
+                 config=SkiaConfig.disabled())
+
+
+class TestHeadGating:
+    HEAD = bytes([0xB8, INVALID, INVALID, INVALID, INVALID, 0xEB, INVALID])
+
+    def test_head_decoded_on_taken_entry(self, stats):
+        skia = make_skia(image_with(self.HEAD))
+        skia.on_ftq_entry(entry_pc=7, entered_by_taken_branch=True,
+                          exit_pc=None, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_head_decodes == 1
+        assert stats.sbb_insertions_u == 1
+        assert skia.sbb.lookup(5) is not None
+
+    def test_no_head_decode_on_fallthrough_entry(self, stats):
+        skia = make_skia(image_with(self.HEAD))
+        skia.on_ftq_entry(entry_pc=7, entered_by_taken_branch=False,
+                          exit_pc=None, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_head_decodes == 0
+
+    def test_no_head_decode_at_line_aligned_entry(self, stats):
+        skia = make_skia(image_with(self.HEAD))
+        skia.on_ftq_entry(entry_pc=64, entered_by_taken_branch=True,
+                          exit_pc=None, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_head_decodes == 0
+
+    def test_requires_line_present(self, stats):
+        """The paper decodes only after confirming L1-I residency."""
+        skia = make_skia(image_with(self.HEAD))
+        skia.on_ftq_entry(entry_pc=7, entered_by_taken_branch=True,
+                          exit_pc=None, line_present=never_present,
+                          stats=stats)
+        assert stats.sbd_head_decodes == 0
+
+    def test_heads_disabled(self, stats):
+        skia = make_skia(image_with(self.HEAD), decode_heads=False)
+        skia.on_ftq_entry(entry_pc=7, entered_by_taken_branch=True,
+                          exit_pc=None, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_head_decodes == 0
+
+
+class TestTailGating:
+    def tail_image(self) -> bytes:
+        image = bytearray([0x90] * 256)
+        image[10] = 0xC3  # shadow ret after exit at 5
+        return bytes(image)
+
+    def test_tail_decoded_on_taken_exit(self, stats):
+        skia = make_skia(self.tail_image())
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=5, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_tail_decodes == 1
+        assert stats.sbb_insertions_r == 1
+        assert skia.sbb.lookup(10) is not None
+
+    def test_no_tail_decode_on_fallthrough(self, stats):
+        skia = make_skia(self.tail_image())
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=None, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_tail_decodes == 0
+
+    def test_tails_disabled(self, stats):
+        skia = make_skia(self.tail_image(), decode_tails=False)
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=5, line_present=always_present,
+                          stats=stats)
+        assert stats.sbd_tail_decodes == 0
+
+    def test_tail_requires_line_present(self, stats):
+        skia = make_skia(self.tail_image())
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=5, line_present=never_present,
+                          stats=stats)
+        assert stats.sbd_tail_decodes == 0
+
+
+class TestBogusAudit:
+    def test_oracle_counts_bogus(self, stats):
+        head = bytes([0xB8, INVALID, INVALID, INVALID, INVALID, 0xEB,
+                      INVALID])
+        skia = Skia(image=image_with(head), base_address=0,
+                    config=SkiaConfig(),
+                    boundary_oracle=lambda pc: False)  # everything bogus
+        skia.on_ftq_entry(entry_pc=7, entered_by_taken_branch=True,
+                          exit_pc=None, line_present=always_present,
+                          stats=stats)
+        assert stats.sbb_bogus_insertions == stats.total_sbb_insertions > 0
+
+    def test_true_boundaries_not_bogus(self, stats):
+        image = bytearray([0x90] * 256)
+        image[10] = 0xC3
+        skia = Skia(image=bytes(image), base_address=0,
+                    config=SkiaConfig(),
+                    boundary_oracle=lambda pc: True)
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=5, line_present=always_present,
+                          stats=stats)
+        assert stats.sbb_bogus_insertions == 0
+        assert stats.sbb_insertions_r == 1
+
+
+class TestRetirement:
+    def test_mark_retired_counts(self, stats):
+        image = bytearray([0x90] * 256)
+        image[10] = 0xC3
+        skia = make_skia(bytes(image))
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=5, line_present=always_present,
+                          stats=stats)
+        skia.mark_retired(10, "r", stats)
+        assert stats.sbb_retired_marks == 1
+        _, entry = skia.sbb.lookup(10)
+        assert entry.retired
+
+    def test_mark_retired_miss_no_count(self, stats):
+        skia = make_skia(bytes([0x90] * 256))
+        skia.mark_retired(10, "r", stats)
+        assert stats.sbb_retired_marks == 0
+
+
+class TestStatsOptional:
+    def test_runs_without_stats(self):
+        image = bytearray([0x90] * 256)
+        image[10] = 0xC3
+        skia = make_skia(bytes(image))
+        skia.on_ftq_entry(entry_pc=0, entered_by_taken_branch=False,
+                          exit_pc=5, line_present=always_present,
+                          stats=None)
+        assert skia.sbb.lookup(10) is not None

@@ -1,0 +1,124 @@
+"""Instruction cache hierarchy tests."""
+
+import pytest
+
+from repro.frontend.caches import CacheHierarchy, SetAssociativeCache
+from repro.frontend.config import FrontEndConfig
+
+
+class TestSetAssociativeCache:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 8, 64)
+
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        assert cache.lookup(0) is None
+        cache.fill(0, ready_time=5.0)
+        assert cache.lookup(0) == 5.0
+
+    def test_lru_within_set(self):
+        cache = SetAssociativeCache(2 * 64 * 4, 2, 64)  # 4 sets, 2 ways
+        conflicting = [0, 4 * 64, 8 * 64]  # same set
+        cache.fill(conflicting[0], 0)
+        cache.fill(conflicting[1], 0)
+        evicted = cache.fill(conflicting[2], 0)
+        assert evicted == conflicting[0]
+        assert not cache.probe(conflicting[0])
+
+    def test_lookup_refreshes_lru(self):
+        cache = SetAssociativeCache(2 * 64 * 4, 2, 64)
+        lines = [0, 4 * 64, 8 * 64]
+        cache.fill(lines[0], 0)
+        cache.fill(lines[1], 0)
+        cache.lookup(lines[0])
+        cache.fill(lines[2], 0)
+        assert cache.probe(lines[0])
+        assert not cache.probe(lines[1])
+
+    def test_refill_keeps_earlier_ready_time(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.fill(0, ready_time=5.0)
+        cache.fill(0, ready_time=50.0)
+        assert cache.lookup(0) == 5.0
+
+    def test_miss_counter(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.lookup(0)
+        cache.fill(0, 0)
+        cache.lookup(0)
+        assert cache.accesses == 2
+        assert cache.misses == 1
+
+    def test_flush(self):
+        cache = SetAssociativeCache(1024, 2, 64)
+        cache.fill(0, 0)
+        cache.flush()
+        assert cache.occupancy() == 0
+
+
+class TestHierarchy:
+    def make(self):
+        return CacheHierarchy(FrontEndConfig())
+
+    def test_memory_latency_on_cold_miss(self):
+        hierarchy = self.make()
+        hit, ready, level = hierarchy.access(0x1000, now=10.0)
+        assert not hit
+        assert level == 4
+        assert ready == 10.0 + hierarchy.memory_latency
+
+    def test_l1_hit_after_fill(self):
+        hierarchy = self.make()
+        hierarchy.access(0x1000, now=0.0)
+        hit, ready, level = hierarchy.access(0x1000, now=500.0)
+        assert hit and level == 1
+        assert ready == 500.0
+
+    def test_hit_before_fill_ready_waits(self):
+        hierarchy = self.make()
+        _, fill_time, _ = hierarchy.access(0x1000, now=0.0)
+        hit, ready, _ = hierarchy.access(0x1000, now=1.0)
+        assert hit
+        assert ready == fill_time  # in flight: wait for the fill
+
+    def test_l2_serves_after_l1_eviction(self):
+        config = FrontEndConfig()
+        hierarchy = self.make()
+        hierarchy.access(0x1000, now=0.0)
+        # Evict 0x1000 from L1 by filling its set (8-way: 8 conflicts).
+        l1_sets = hierarchy.l1i.n_sets
+        for way in range(config.l1i_assoc):
+            conflict = 0x1000 + (way + 1) * l1_sets * 64
+            hierarchy.access(conflict, now=0.0)
+        assert not hierarchy.l1i.probe(0x1000)
+        hit, ready, level = hierarchy.access(0x1000, now=1000.0)
+        assert not hit
+        assert level == 2
+        assert ready == 1000.0 + config.l2_latency
+
+    def test_wrong_path_fill_counter(self):
+        hierarchy = self.make()
+        hierarchy.access(0x9000, now=0.0, wrong_path=True)
+        hierarchy.access(0x9000, now=1.0, wrong_path=True)  # hit: no fill
+        assert hierarchy.wrong_path_fills == 1
+
+    def test_line_present(self):
+        hierarchy = self.make()
+        assert not hierarchy.line_present(0x2345)
+        hierarchy.access(0x2340 & ~63, now=0.0)
+        assert hierarchy.line_present(0x2345)  # any pc within the line
+
+    def test_lines_spanning(self):
+        hierarchy = self.make()
+        assert hierarchy.lines_spanning(0, 1) == [0]
+        assert hierarchy.lines_spanning(0, 64) == [0]
+        assert hierarchy.lines_spanning(0, 65) == [0, 64]
+        assert hierarchy.lines_spanning(60, 70) == [0, 64]
+        assert hierarchy.lines_spanning(128, 300) == [128, 192, 256]
+
+    def test_table1_geometry(self):
+        hierarchy = self.make()
+        assert hierarchy.l1i.n_sets == 32 * 1024 // (8 * 64)
+        assert hierarchy.l2.n_sets == 1024 * 1024 // (16 * 64)
+        assert hierarchy.l3.n_sets == 2 * 1024 * 1024 // (16 * 64)

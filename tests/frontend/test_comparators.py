@@ -1,0 +1,124 @@
+"""Section 7.1 baseline mechanisms."""
+
+import pytest
+
+from repro.frontend.comparators import AirBTBLite, BoomerangLite
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.frontend.engine import simulate
+from repro.isa.branch import BranchKind
+
+
+class TestAirBTBLite:
+    def test_record_then_hit_while_resident(self):
+        airbtb = AirBTBLite()
+        airbtb.record(0x1000, BranchKind.CALL, 0x2000)
+        entry = airbtb.lookup(0x1000, line_resident=True)
+        assert entry is not None
+        assert entry.target == 0x2000
+
+    def test_miss_when_line_evicted(self):
+        """The defining property: contents are only usable while the
+        line is L1-I resident."""
+        airbtb = AirBTBLite()
+        airbtb.record(0x1000, BranchKind.CALL, 0x2000)
+        assert airbtb.lookup(0x1000, line_resident=False) is None
+
+    def test_never_learns_unexecuted_branches(self):
+        """AirBTB has no decode path: a branch that never committed is
+        invisible -- the cold-branch blind spot."""
+        airbtb = AirBTBLite()
+        assert airbtb.lookup(0x5000, line_resident=True) is None
+
+    def test_per_line_capacity(self):
+        airbtb = AirBTBLite(entries_per_line=2)
+        for offset in (0, 8, 16):
+            airbtb.record(0x1000 + offset, BranchKind.CALL, offset)
+        assert airbtb.lookup(0x1000, True) is None  # oldest dropped
+        assert airbtb.lookup(0x1008, True) is not None
+        assert airbtb.lookup(0x1010, True) is not None
+
+    def test_line_lru(self):
+        airbtb = AirBTBLite(max_lines=2)
+        airbtb.record(0x0000, BranchKind.CALL, 1)
+        airbtb.record(0x1000, BranchKind.CALL, 2)
+        airbtb.record(0x2000, BranchKind.CALL, 3)
+        assert airbtb.lookup(0x0000, True) is None
+
+    def test_update_existing(self):
+        airbtb = AirBTBLite()
+        airbtb.record(0x1000, BranchKind.DIRECT_COND, 0xA)
+        airbtb.record(0x1000, BranchKind.DIRECT_COND, 0xB)
+        assert airbtb.lookup(0x1000, True).target == 0xB
+
+
+class TestBoomerangLite:
+    def make(self) -> BoomerangLite:
+        line = bytearray(64)
+        line[0:2] = bytes([0xEB, 0x10])                     # jmp (exit)
+        line[2:7] = bytes([0xE8, 0x20, 0x00, 0x00, 0x00])   # call
+        line[7] = 0xC3                                      # ret
+        line[8:] = bytes([0x90] * 56)
+        return BoomerangLite(bytes(line), base_address=0)
+
+    def test_predecode_fills_buffer(self):
+        boomerang = self.make()
+        boomerang.on_btb_miss(entry_pc=0)
+        assert boomerang.lookup(0).kind is BranchKind.DIRECT_UNCOND
+        boomerang.on_btb_miss(entry_pc=0)
+        assert boomerang.lookup(2).kind is BranchKind.CALL
+
+    def test_lookup_consumes_entry(self):
+        boomerang = self.make()
+        boomerang.on_btb_miss(entry_pc=0)
+        assert boomerang.lookup(0) is not None
+        assert boomerang.lookup(0) is None  # migrated away
+
+    def test_forward_only_from_entry(self):
+        """Bytes before the entry point are never predecoded -- the
+        variable-length limitation Skia's head decoding overcomes."""
+        boomerang = self.make()
+        boomerang.on_btb_miss(entry_pc=2)
+        assert boomerang.lookup(0) is None   # jmp before the entry
+        assert boomerang.lookup(2) is not None
+
+    def test_buffer_fifo(self):
+        boomerang = self.make()
+        boomerang.buffer_entries = 1
+        boomerang.on_btb_miss(entry_pc=0)
+        assert boomerang.lookup(0) is None   # evicted by later inserts
+        assert boomerang.lookup(7) is not None
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["airbtb", "boomerang"])
+    def test_comparator_never_hurts_much(self, micro_program, micro_trace,
+                                         name):
+        # A small BTB creates the capacity re-misses these schemes cover
+        # (the micro program fits entirely in the default 8K BTB).
+        base_config = FrontEndConfig().with_btb_entries(256)
+        base = simulate(micro_program, micro_trace, base_config,
+                        warmup=2_000)
+        enhanced = simulate(micro_program, micro_trace,
+                            base_config.with_comparator(name), warmup=2_000)
+        assert enhanced.ipc >= base.ipc * 0.995
+        assert enhanced.comparator_hits > 0
+
+    def test_skia_beats_airbtb(self, micro_program, micro_trace):
+        """The paper's qualitative claim, measured: shadow decoding
+        covers branches the L1-coupled scheme cannot."""
+        airbtb = simulate(micro_program, micro_trace,
+                          FrontEndConfig(comparator="airbtb"), warmup=2_000)
+        skia = simulate(micro_program, micro_trace,
+                        FrontEndConfig(skia=SkiaConfig()), warmup=2_000)
+        assert skia.ipc >= airbtb.ipc
+
+    def test_unknown_comparator_rejected(self, micro_program, micro_trace):
+        with pytest.raises(ValueError):
+            simulate(micro_program, micro_trace,
+                     FrontEndConfig(comparator="nope"), warmup=0)
+
+    def test_with_comparator_helper(self):
+        config = FrontEndConfig().with_comparator("airbtb")
+        assert config.comparator == "airbtb"
+        with pytest.raises(ValueError):
+            FrontEndConfig().with_comparator("bad")

@@ -1,0 +1,100 @@
+"""Configuration arithmetic: the paper's sizes must come out exactly."""
+
+import pytest
+
+from repro.frontend.config import (
+    FrontEndConfig,
+    IndexPolicy,
+    SkiaConfig,
+    baseline_config,
+    skia_config,
+)
+
+
+class TestBTBSizes:
+    def test_default_is_8k_78kb(self):
+        config = FrontEndConfig()
+        assert config.btb_entries == 8192
+        assert config.btb_size_kib == 78.0  # Table 1: 8K-entry/78KB
+
+    def test_with_btb_entries(self):
+        config = FrontEndConfig().with_btb_entries(4096)
+        assert config.btb_entries == 4096
+        assert config.btb_size_kib == 39.0
+
+    def test_with_extra_state_matches_sbb_budget(self):
+        config = FrontEndConfig().with_extra_btb_state(12.25 * 1024)
+        # 12.25KB * 8 bits / 78 bits per entry = 1286 extra entries.
+        assert config.btb_entries == 8192 + 1286
+
+    def test_latency_model_monotone(self):
+        small = FrontEndConfig().with_btb_entries(4096)
+        medium = FrontEndConfig().with_btb_entries(16384)
+        large = FrontEndConfig().with_btb_entries(131072)
+        assert small.btb_access_latency() == 1
+        assert medium.btb_access_latency() == 1
+        assert large.btb_access_latency() > 1
+
+    def test_infinite_btb_latency_is_one(self):
+        config = FrontEndConfig().with_btb_entries(1 << 22, infinite=True)
+        assert config.btb_access_latency() == 1
+
+
+class TestSkiaSizes:
+    def test_default_sbb_is_12_25_kib(self):
+        skia = SkiaConfig()
+        # Paper Section 6.2: 768 x 78b U-SBB = 7.3125KB,
+        # 2024 x 20b R-SBB ~= 4.94KB, total ~12.25KB.
+        assert skia.usbb_size_bytes / 1024 == pytest.approx(7.3125)
+        assert skia.rsbb_size_bytes / 1024 == pytest.approx(4.9414, abs=1e-3)
+        assert skia.total_size_kib == pytest.approx(12.25, abs=0.01)
+
+    def test_scaled_preserves_ratio(self):
+        skia = SkiaConfig().scaled(2.0)
+        assert skia.usbb_entries == 1536
+        assert skia.rsbb_entries == 4048
+
+    def test_scaled_floor(self):
+        skia = SkiaConfig().scaled(0.001)
+        assert skia.usbb_entries >= skia.usbb_assoc
+
+    def test_disabled(self):
+        assert not SkiaConfig.disabled().enabled
+
+    def test_index_policy_values(self):
+        assert {p.value for p in IndexPolicy} == {"first", "zero", "merge"}
+
+
+class TestPresets:
+    def test_baseline_has_no_skia(self):
+        assert not baseline_config().skia.enabled
+
+    def test_skia_config_enables(self):
+        config = skia_config()
+        assert config.skia.enabled
+        assert config.skia.decode_heads and config.skia.decode_tails
+
+    def test_head_only(self):
+        config = skia_config(heads=True, tails=False)
+        assert config.skia.decode_heads and not config.skia.decode_tails
+
+    def test_with_skia_returns_new_config(self):
+        base = FrontEndConfig()
+        enhanced = base.with_skia(SkiaConfig())
+        assert not base.skia.enabled
+        assert enhanced.skia.enabled
+
+
+class TestTable1Defaults:
+    def test_cache_sizes(self):
+        config = FrontEndConfig()
+        assert config.l1i_size == 32 * 1024
+        assert config.l1i_assoc == 8
+        assert config.l2_size == 1024 * 1024
+        assert config.l3_size == 2 * 1024 * 1024
+        assert config.line_size == 64
+
+    def test_pipeline_widths(self):
+        config = FrontEndConfig()
+        assert config.ftq_size == 24
+        assert config.decode_width == 12

@@ -1,0 +1,70 @@
+"""Loop termination predictor (the L of TAGE-SC-L)."""
+
+from repro.frontend.predictor import LoopPredictor
+
+
+def run_loop(predictor, pc, trip, visits):
+    """Feed `visits` executions of a trip-`trip` loop; returns accuracy
+    over the final visit."""
+    correct = total = 0
+    for visit in range(visits):
+        for iteration in range(trip + 1):
+            taken = iteration < trip
+            prediction = predictor.predict(pc)
+            if visit == visits - 1 and prediction is not None:
+                correct += prediction == taken
+                total += 1
+            predictor.update(pc, taken)
+    return correct, total
+
+
+class TestLearning:
+    def test_learns_fixed_trip(self):
+        predictor = LoopPredictor(confidence_threshold=3)
+        correct, total = run_loop(predictor, 0x1000, trip=7, visits=10)
+        assert total == 8          # confident on every iteration
+        assert correct == 8        # including the exit
+
+    def test_not_confident_before_threshold(self):
+        predictor = LoopPredictor(confidence_threshold=3)
+        run_loop(predictor, 0x1000, trip=5, visits=2)
+        assert predictor.predict(0x1000) is None
+
+    def test_unknown_pc_returns_none(self):
+        assert LoopPredictor().predict(0x42) is None
+
+    def test_relearn_after_trip_change(self):
+        predictor = LoopPredictor(confidence_threshold=2)
+        run_loop(predictor, 0x1000, trip=4, visits=6)
+        # Trip changes: confidence resets, then re-learns.
+        run_loop(predictor, 0x1000, trip=9, visits=1)
+        assert predictor.predict(0x1000) is None
+        correct, total = run_loop(predictor, 0x1000, trip=9, visits=5)
+        assert total and correct == total
+
+    def test_irregular_branch_never_confident(self):
+        predictor = LoopPredictor(confidence_threshold=3)
+        outcomes = [True, True, False, True, False, True, True, True,
+                    False, False]
+        for _ in range(20):
+            for taken in outcomes:
+                predictor.update(0x2000, taken)
+        assert predictor.predict(0x2000) is None
+
+    def test_runaway_taken_resets(self):
+        predictor = LoopPredictor(max_trip=16)
+        for _ in range(100):
+            predictor.update(0x3000, True)  # never exits
+        entry = predictor._table[0x3000]
+        assert entry.current <= 16
+        assert predictor.predict(0x3000) is None
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        predictor = LoopPredictor(entries=2, confidence_threshold=1)
+        run_loop(predictor, 0x1, trip=3, visits=4)
+        run_loop(predictor, 0x2, trip=3, visits=4)
+        run_loop(predictor, 0x3, trip=3, visits=4)  # evicts 0x1
+        assert 0x1 not in predictor._table
+        assert predictor.predict(0x3) is not None

@@ -1,0 +1,135 @@
+"""Direction and indirect-target predictor behaviour."""
+
+import random
+
+from repro.frontend.predictor import ITTageLite, TageLite
+
+
+class TestTageLite:
+    def test_learns_always_taken(self):
+        tage = TageLite()
+        for _ in range(200):
+            tage.update(0x1000, True)
+        hits = sum(tage.update(0x1000, True) for _ in range(100))
+        assert hits >= 99
+
+    def test_learns_always_not_taken(self):
+        tage = TageLite()
+        for _ in range(200):
+            tage.update(0x1000, False)
+        correct = sum(tage.update(0x1000, False) is False
+                      for _ in range(100))
+        assert correct >= 99
+
+    def test_learns_loop_exit(self):
+        """A trip-8 loop back-edge (T T T T T T T N) should be almost
+        perfectly predicted once TAGE warms up."""
+        tage = TageLite()
+        correct = total = 0
+        for visit in range(600):
+            for iteration in range(8):
+                taken = iteration < 7
+                predicted = tage.update(0x2000, taken)
+                if visit >= 300:
+                    correct += predicted == taken
+                    total += 1
+        assert correct / total > 0.97
+
+    def test_learns_alternating(self):
+        tage = TageLite()
+        correct = total = 0
+        for step in range(2000):
+            taken = step % 2 == 0
+            predicted = tage.update(0x3000, taken)
+            if step >= 1000:
+                correct += predicted == taken
+                total += 1
+        assert correct / total > 0.97
+
+    def test_biased_branch_accuracy_bounded_by_bias(self):
+        tage = TageLite()
+        rng = random.Random(0)
+        correct = total = 0
+        for step in range(4000):
+            taken = rng.random() < 0.95
+            predicted = tage.update(0x4000, taken)
+            if step >= 1000:
+                correct += predicted == taken
+                total += 1
+        assert correct / total > 0.90
+
+    def test_accuracy_property(self):
+        tage = TageLite()
+        assert tage.accuracy == 1.0
+        tage.update(0x1, True)
+        assert 0.0 <= tage.accuracy <= 1.0
+
+    def test_predict_is_side_effect_free(self):
+        tage = TageLite()
+        for _ in range(50):
+            tage.update(0x5000, True)
+        before = tage.predictions
+        tage.predict(0x5000)
+        assert tage.predictions == before
+
+    def test_many_branches_coexist(self):
+        tage = TageLite()
+        correct = total = 0
+        for step in range(3000):
+            for pc, taken in ((0x10, True), (0x20, False),
+                              (0x30, step % 2 == 0)):
+                predicted = tage.update(pc, taken)
+                if step > 1500:
+                    correct += predicted == taken
+                    total += 1
+        assert correct / total > 0.95
+
+
+class TestITTageLite:
+    def test_last_target_floor(self):
+        """With run-sticky random targets, accuracy must reach the
+        last-target floor of 1 - 1/mean_run."""
+        ittage = ITTageLite()
+        rng = random.Random(1)
+        targets = [0x1000 * i for i in range(500)]
+        current, remaining = None, 0
+        correct = total = 0
+        for step in range(30_000):
+            if remaining == 0:
+                current = rng.choice(targets)
+                remaining = rng.randint(2, 12)
+            remaining -= 1
+            predicted = ittage.update(0x400000, current)
+            if step > 5_000:
+                correct += predicted == current
+                total += 1
+        assert correct / total > 0.82
+
+    def test_learns_repeating_sequence(self):
+        """A periodic target sequence is learned via history tables --
+        this is where ITTAGE beats a plain last-target predictor."""
+        ittage = ITTageLite()
+        sequence = [0x100, 0x200, 0x300, 0x400, 0x150, 0x250]
+        correct = total = 0
+        for step in range(12_000):
+            target = sequence[step % len(sequence)]
+            predicted = ittage.update(0x400000, target)
+            if step > 6_000:
+                correct += predicted == target
+                total += 1
+        assert correct / total > 0.95
+
+    def test_stable_target_perfect(self):
+        ittage = ITTageLite()
+        for _ in range(100):
+            ittage.update(0x1, 0xAA)
+        assert ittage.predict(0x1) == 0xAA
+
+    def test_unknown_pc_predicts_none(self):
+        assert ITTageLite().predict(0x1234) is None
+
+    def test_accuracy_property(self):
+        ittage = ITTageLite()
+        assert ittage.accuracy == 1.0
+        ittage.update(0x1, 0x2)
+        assert 0.0 <= ittage.accuracy <= 1.0

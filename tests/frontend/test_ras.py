@@ -1,0 +1,71 @@
+"""Return address stack tests."""
+
+import pytest
+
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestBasics:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_peek(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.peek() is None
+        ras.push(0x42)
+        assert ras.peek() == 0x42
+        assert len(ras) == 1  # peek does not pop
+
+    def test_len(self):
+        ras = ReturnAddressStack(depth=4)
+        for value in range(3):
+            ras.push(value)
+        assert len(ras) == 3
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+    def test_clear(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(1)
+        ras.clear()
+        assert len(ras) == 0
+        assert ras.pop() is None
+
+
+class TestOverflow:
+    def test_overflow_overwrites_oldest(self):
+        """Pushing past capacity corrupts the bottom, as in hardware."""
+        ras = ReturnAddressStack(depth=3)
+        for value in (1, 2, 3, 4):
+            ras.push(value)
+        assert ras.overflow_overwrites == 1
+        assert ras.pop() == 4
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        # value 1 was overwritten by 4: deep return now mispredicts.
+        assert ras.pop() is None
+
+    def test_deep_call_chain_corrupts_exactly_excess(self):
+        ras = ReturnAddressStack(depth=8)
+        for value in range(12):
+            ras.push(value)
+        popped = [ras.pop() for _ in range(8)]
+        assert popped == [11, 10, 9, 8, 7, 6, 5, 4]
+        assert ras.pop() is None
+
+    def test_occupancy_never_exceeds_depth(self):
+        ras = ReturnAddressStack(depth=5)
+        for value in range(100):
+            ras.push(value)
+        assert len(ras) == 5

@@ -1,0 +1,69 @@
+"""SimStats derived-metric arithmetic."""
+
+import pytest
+
+from repro.frontend.stats import SimStats
+from repro.isa.branch import BranchKind
+
+
+class TestDerived:
+    def test_ipc(self):
+        stats = SimStats(instructions=3000, cycles=1500.0)
+        assert stats.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_mpki(self):
+        stats = SimStats(instructions=10_000)
+        assert stats.mpki(25) == 2.5
+
+    def test_mpki_no_instructions(self):
+        assert SimStats().mpki(100) == 0.0
+
+    def test_btb_miss_aggregation(self):
+        stats = SimStats(instructions=1000)
+        stats.btb_misses[BranchKind.CALL] = 3
+        stats.btb_misses[BranchKind.RETURN] = 2
+        assert stats.total_btb_misses == 5
+        assert stats.btb_miss_mpki == 5.0
+
+    def test_l1i_hit_fraction(self):
+        stats = SimStats(instructions=1000, btb_miss_l1i_hit=3)
+        stats.btb_misses[BranchKind.CALL] = 4
+        assert stats.btb_miss_l1i_hit_fraction == 0.75
+
+    def test_l1i_hit_fraction_no_misses(self):
+        assert SimStats().btb_miss_l1i_hit_fraction == 0.0
+
+    def test_cond_accuracy(self):
+        stats = SimStats(cond_predictions=100, cond_mispredicts=5)
+        assert stats.cond_accuracy == 0.95
+
+    def test_cond_accuracy_empty(self):
+        assert SimStats().cond_accuracy == 1.0
+
+    def test_bogus_rate(self):
+        stats = SimStats(sbb_insertions_u=90, sbb_insertions_r=10,
+                         sbb_bogus_insertions=1)
+        assert stats.bogus_insertion_rate == pytest.approx(0.01)
+
+    def test_bogus_rate_empty(self):
+        assert SimStats().bogus_insertion_rate == 0.0
+
+    def test_breakdown_sums_to_one(self):
+        stats = SimStats()
+        stats.btb_misses[BranchKind.CALL] = 6
+        stats.btb_misses[BranchKind.DIRECT_COND] = 4
+        breakdown = stats.btb_miss_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["Call"] == 0.6
+
+    def test_breakdown_empty(self):
+        breakdown = SimStats().btb_miss_breakdown()
+        assert all(value == 0.0 for value in breakdown.values())
+
+    def test_summary_keys(self):
+        summary = SimStats(instructions=10, cycles=5).summary()
+        for key in ("ipc", "l1i_mpki", "btb_miss_mpki", "decoder_idle_cycles"):
+            assert key in summary

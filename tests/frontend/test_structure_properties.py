@@ -1,0 +1,122 @@
+"""Property-based structure tests against naive reference models.
+
+The set-associative structures (cache, BTB, SBB) are exercised with
+random operation streams and compared against simple dict/list reference
+implementations of LRU semantics.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sbb import SBBStructure
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.caches import SetAssociativeCache
+from repro.isa.branch import BranchKind
+
+
+class ReferenceLRUSet:
+    """Reference model of one LRU set: ordered list, MRU last."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.order: list[int] = []
+
+    def touch(self, key: int) -> bool:
+        hit = key in self.order
+        if hit:
+            self.order.remove(key)
+            self.order.append(key)
+        return hit
+
+    def insert(self, key: int) -> None:
+        if key in self.order:
+            self.order.remove(key)
+        elif len(self.order) >= self.capacity:
+            self.order.pop(0)
+        self.order.append(key)
+
+
+@given(operations=st.lists(
+    st.tuples(st.sampled_from(["lookup", "fill"]), st.integers(0, 30)),
+    min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_cache_matches_reference_lru(operations):
+    """A 1-set cache behaves exactly like the reference LRU list."""
+    cache = SetAssociativeCache(4 * 64, 4, 64)  # 1 set, 4 ways
+    reference = ReferenceLRUSet(4)
+    for op, line_index in operations:
+        line = line_index * 64
+        if op == "lookup":
+            hit = cache.lookup(line) is not None
+            assert hit == reference.touch(line)
+        else:
+            cache.fill(line, 0.0)
+            reference.insert(line)
+    assert cache.occupancy() == len(reference.order)
+
+
+@given(operations=st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert"]), st.integers(0, 20)),
+    min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_btb_single_set_matches_reference(operations):
+    """With full-width tags and one set, the BTB is a pure LRU."""
+    btb = BranchTargetBuffer(entries=4, assoc=4, tag_bits=30)
+    assert btb.n_sets == 1
+    reference = ReferenceLRUSet(4)
+    for op, key in operations:
+        pc = key * 2
+        tag = btb._index_tag(pc)[1]
+        if op == "lookup":
+            hit = btb.lookup(pc) is not None
+            assert hit == reference.touch(tag)
+        else:
+            btb.insert(pc, BranchKind.CALL, pc)
+            reference.insert(tag)
+
+
+@given(operations=st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert", "retire"]),
+              st.integers(0, 20)),
+    min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_sbb_occupancy_and_consistency(operations):
+    """SBB never exceeds capacity; retired entries survive non-retired
+    ones under pressure; lookups return what was inserted."""
+    structure = SBBStructure(4, 4, tag_bits=30, entry_bits=78, name="p")
+    payloads: dict[int, int] = {}
+    for op, key in operations:
+        pc = key * 2
+        tag = structure._index_tag(pc)[1]
+        if op == "insert":
+            structure.insert(pc, key)
+            payloads[tag] = key
+        elif op == "retire":
+            structure.mark_retired(pc)
+        else:
+            entry = structure.lookup(pc)
+            if entry is not None:
+                assert entry.payload == payloads[tag]
+        assert structure.occupancy() <= 4
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_multi_set_cache_inclusion_of_recent(seed):
+    """The most recent `assoc` fills of any set are always resident."""
+    rng = random.Random(seed)
+    cache = SetAssociativeCache(8 * 64 * 4, 2, 64)  # 16 sets, 2 ways
+    recent: dict[int, list[int]] = {}
+    for _ in range(200):
+        line = rng.randrange(200) * 64
+        cache.fill(line, 0.0)
+        bucket = recent.setdefault((line // 64) % cache.n_sets, [])
+        if line in bucket:
+            bucket.remove(line)
+        bucket.append(line)
+        del bucket[:-2]
+    for bucket in recent.values():
+        for line in bucket:
+            assert cache.probe(line)

@@ -1,0 +1,59 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.workload == "voter"
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "bogus-workload"])
+
+    def test_experiment_names_cover_all_figures(self):
+        for name in ("fig1", "fig3", "fig6", "fig13", "fig14", "fig15",
+                     "fig16", "fig17", "fig18", "bolt", "bogus"):
+            assert name in EXPERIMENTS
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "smoke", "workloads"])
+        assert args.scale == "smoke"
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "voter" in out and "kafka" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "8K-entry/78KB" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "OLTPBench" in capsys.readouterr().out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "noop"]) == 0
+        assert "Program noop" in capsys.readouterr().out
+
+    def test_experiment_with_restricted_workloads(self, capsys):
+        code = main(["--scale", "smoke", "experiment", "fig15",
+                     "--workloads", "noop"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 15" in out
+        assert "noop" in out
+
+    def test_compare_smoke(self, capsys):
+        assert main(["--scale", "smoke", "compare", "noop"]) == 0
+        assert "speedup" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Experiment functions: smoke-run each exhibit on two tiny workloads."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scale import Scale
+from repro.workloads.cache import WorkloadCache
+
+WORKLOADS = ["noop", "voter"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=Scale("test", records=8_000, warmup=3_000),
+                            cache=WorkloadCache())
+
+
+class TestFigures:
+    def test_fig1(self, runner):
+        result = experiments.fig1_btb_miss_l1i_hit(
+            runner, btb_sizes=(1024, 8192), workloads=WORKLOADS)
+        assert set(result["data"]) == {1024, 8192}
+        for entry in result["data"].values():
+            assert entry["l1i_hit_mpki"] <= entry["total_mpki"]
+        assert "Figure 1" in result["render"]
+
+    def test_fig3(self, runner):
+        result = experiments.fig3_speedup_vs_btb_size(
+            runner, btb_sizes=(1024, 8192), workloads=WORKLOADS)
+        data = result["data"]
+        # Reference point normalises to 1.0.
+        assert data["btb"][1024] == pytest.approx(1.0)
+        # Bigger BTBs never slower than the small reference.
+        assert data["btb"][8192] >= 1.0
+        assert "infinite" in data
+
+    def test_fig6(self, runner):
+        result = experiments.fig6_miss_breakdown(runner, workloads=WORKLOADS)
+        for breakdown in result["data"].values():
+            assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig13(self, runner):
+        result = experiments.fig13_l1i_mpki(runner, workloads=WORKLOADS)
+        for entry in result["data"].values():
+            assert entry["measured"] >= 0
+            assert entry["paper_real"] > 0
+
+    def test_fig14(self, runner):
+        result = experiments.fig14_ipc_gain(runner, workloads=WORKLOADS)
+        assert set(result["geomean"]) == {"head", "tail", "both"}
+        for gains in result["data"].values():
+            assert set(gains) == set(WORKLOADS)
+
+    def test_fig15(self, runner):
+        result = experiments.fig15_btb_miss_l1i_hit(runner,
+                                                    workloads=WORKLOADS)
+        for entry in result["data"].values():
+            assert 0.0 <= entry["fraction"] <= 1.0
+
+    def test_fig16(self, runner):
+        result = experiments.fig16_mpki_reduction(runner,
+                                                  workloads=WORKLOADS)
+        for entry in result["data"].values():
+            assert entry["skia"] <= entry["baseline"]
+
+    def test_fig17(self, runner):
+        result = experiments.fig17_sbb_sensitivity(
+            runner, workloads=WORKLOADS,
+            splits=((768, 2024), (1024, 1024)),
+            scales=(0.5, 1.0))
+        assert (768, 2024) in result["splits"]
+        assert 1.0 in result["scales"]
+
+    def test_fig18(self, runner):
+        result = experiments.fig18_decoder_idle(runner, workloads=WORKLOADS)
+        for reduction in result["data"].values():
+            assert reduction <= 1.0
+
+
+class TestTables:
+    def test_table1(self):
+        result = experiments.table1_config()
+        assert "78KB" in result["render"]
+        assert "Table 1" in result["render"]
+
+    def test_table2(self):
+        result = experiments.table2_benchmarks()
+        assert "OLTPBench" in result["suites"]
+        assert sum(len(v) for v in result["suites"].values()) == 16
+
+
+class TestSectionExperiments:
+    def test_bogus_rate(self, runner):
+        result = experiments.bogus_rate_audit(runner, workloads=WORKLOADS)
+        assert 0.0 <= result["average"] < 0.05
+
+    def test_ablation_index_policy(self, runner):
+        result = experiments.ablation_index_policy(runner,
+                                                   workloads=WORKLOADS)
+        assert set(result["data"]) == {"first", "zero", "merge"}
+
+    def test_ablation_max_paths(self, runner):
+        result = experiments.ablation_max_paths(runner, workloads=WORKLOADS,
+                                                limits=(1, 6))
+        assert set(result["data"]) == {1, 6}
+
+    def test_ablation_retired_bit(self, runner):
+        result = experiments.ablation_retired_bit(runner,
+                                                  workloads=WORKLOADS)
+        assert set(result["data"]) == {"retired-first", "plain LRU"}

@@ -1,0 +1,49 @@
+"""Seed-stability machinery."""
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.harness.multiseed import (
+    SeedSweepResult,
+    speedup_metric,
+    sweep_seeds,
+)
+from repro.harness.scale import Scale
+
+
+class TestSeedSweepResult:
+    def test_summary_stats(self):
+        result = SeedSweepResult(values=(1.0, 2.0, 3.0), seeds=(0, 1, 2))
+        assert result.mean == 2.0
+        assert result.std == pytest.approx(1.0)
+        assert result.minimum == 1.0
+        assert result.maximum == 3.0
+
+    def test_single_value_std_zero(self):
+        result = SeedSweepResult(values=(5.0,), seeds=(0,))
+        assert result.std == 0.0
+
+    def test_render(self):
+        result = SeedSweepResult(values=(0.02, 0.03), seeds=(0, 1))
+        text = result.render("gain")
+        assert "gain" in text and "mean=" in text
+
+
+class TestSweep:
+    def test_skia_gain_positive_across_seeds(self):
+        """The headline effect is not a single-seed artifact."""
+        result = sweep_seeds(
+            "voter", speedup_metric,
+            FrontEndConfig(), FrontEndConfig(skia=SkiaConfig()),
+            seeds=(0, 1),
+            scale=Scale("test", records=30_000, warmup=10_000))
+        assert len(result.values) == 2
+        assert all(value > 0 for value in result.values)
+
+    def test_different_seeds_differ(self):
+        result = sweep_seeds(
+            "noop", lambda a, b: a.ipc,
+            FrontEndConfig(), FrontEndConfig(),
+            seeds=(0, 1),
+            scale=Scale("test", records=10_000, warmup=3_000))
+        assert result.values[0] != result.values[1]

@@ -1,0 +1,47 @@
+"""EXPERIMENTS.md generation."""
+
+import pathlib
+
+from repro.harness.report import EXHIBITS, generate
+
+
+class TestGenerate:
+    def test_includes_saved_renders(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig01_btb_misses.txt").write_text("FAKE FIG 1 RENDER")
+        output = tmp_path / "EXPERIMENTS.md"
+        text = generate(results_dir=results, output=output)
+        assert "FAKE FIG 1 RENDER" in text
+        assert output.read_text() == text
+
+    def test_missing_renders_noted(self, tmp_path):
+        results = tmp_path / "empty"
+        results.mkdir()
+        text = generate(results_dir=results,
+                        output=tmp_path / "EXPERIMENTS.md")
+        assert "no saved render" in text
+
+    def test_every_exhibit_has_heading(self, tmp_path):
+        results = tmp_path / "empty"
+        results.mkdir()
+        text = generate(results_dir=results,
+                        output=tmp_path / "EXPERIMENTS.md")
+        for _, heading, _, _ in EXHIBITS:
+            assert heading in text
+
+    def test_known_gaps_section(self, tmp_path):
+        results = tmp_path / "empty"
+        results.mkdir()
+        text = generate(results_dir=results,
+                        output=tmp_path / "EXPERIMENTS.md")
+        assert "## Known gaps" in text
+
+    def test_cli_command(self, tmp_path, capsys):
+        from repro.cli import main
+        results = tmp_path / "results"
+        results.mkdir()
+        output = tmp_path / "EXP.md"
+        assert main(["report", "--results", str(results),
+                     "--output", str(output)]) == 0
+        assert pathlib.Path(output).exists()

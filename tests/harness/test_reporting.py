@@ -1,0 +1,53 @@
+"""Reporting helpers."""
+
+import pytest
+
+from repro.harness.reporting import format_table, geomean, geomean_speedup, pct
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert geomean_speedup([1.1, 1.1]) == pytest.approx(0.1)
+
+    def test_speedup_identity(self):
+        assert geomean_speedup([1.0, 1.0]) == pytest.approx(0.0)
+
+
+class TestPct:
+    def test_format(self):
+        assert pct(0.0564) == "5.64%"
+        assert pct(0.0564, 0) == "6%"
+        assert pct(-0.01) == "-1.00%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        table = format_table(["h"], [["v"]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2

@@ -1,0 +1,74 @@
+"""Experiment runner memoisation and scale selection."""
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.harness.runner import ExperimentRunner, config_key
+from repro.harness.scale import SCALES, Scale, current_scale
+from repro.workloads.cache import WorkloadCache
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=Scale("test", records=6_000, warmup=2_000),
+                            cache=WorkloadCache())
+
+
+class TestConfigKey:
+    def test_equal_configs_equal_keys(self):
+        assert config_key(FrontEndConfig()) == config_key(FrontEndConfig())
+
+    def test_different_configs_differ(self):
+        assert config_key(FrontEndConfig()) != config_key(
+            FrontEndConfig(btb_entries=4096))
+
+    def test_skia_included(self):
+        assert config_key(FrontEndConfig()) != config_key(
+            FrontEndConfig(skia=SkiaConfig()))
+
+    def test_hashable(self):
+        hash(config_key(FrontEndConfig()))
+
+
+class TestRunner:
+    def test_memoises(self, runner):
+        first = runner.run("noop", FrontEndConfig())
+        second = runner.run("noop", FrontEndConfig())
+        assert first is second
+
+    def test_distinct_configs_run_separately(self, runner):
+        base = runner.run("noop", FrontEndConfig())
+        skia = runner.run("noop", FrontEndConfig(skia=SkiaConfig()))
+        assert base is not skia
+
+    def test_run_many(self, runner):
+        results = runner.run_many(["noop", "voter"], FrontEndConfig())
+        assert set(results) == {"noop", "voter"}
+
+    def test_measured_records_accounted(self, runner):
+        stats = runner.run("noop", FrontEndConfig())
+        assert stats.blocks == runner.scale.measured_records
+
+    def test_clear(self, runner):
+        first = runner.run("noop", FrontEndConfig())
+        runner.clear()
+        assert runner.run("noop", FrontEndConfig()) is not first
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "quick"
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+
+    def test_unknown_scale_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_all_scales_warmup_below_records(self):
+        for scale in SCALES.values():
+            assert 0 < scale.warmup < scale.records

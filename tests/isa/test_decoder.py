@@ -1,0 +1,224 @@
+"""Byte decoder behaviour on hand-crafted encodings."""
+
+import pytest
+
+from repro.isa.branch import BranchKind
+from repro.isa.decoder import Decoder, decode_at, instruction_length
+
+
+def b(*values) -> bytes:
+    return bytes(values)
+
+
+class TestBasicDecodes:
+    def test_nop(self):
+        decoded = decode_at(b(0x90), 0)
+        assert decoded.length == 1
+        assert decoded.kind is BranchKind.NOT_BRANCH
+
+    def test_ret(self):
+        decoded = decode_at(b(0xC3), 0)
+        assert decoded.kind is BranchKind.RETURN
+        assert decoded.length == 1
+        assert decoded.target is None
+
+    def test_ret_imm16(self):
+        decoded = decode_at(b(0xC2, 0x08, 0x00), 0)
+        assert decoded.kind is BranchKind.RETURN
+        assert decoded.length == 3
+
+    def test_jmp_rel8_forward(self):
+        decoded = decode_at(b(0xEB, 0x10), 0, pc=100)
+        assert decoded.kind is BranchKind.DIRECT_UNCOND
+        assert decoded.length == 2
+        assert decoded.target == 100 + 2 + 0x10
+
+    def test_jmp_rel8_backward(self):
+        decoded = decode_at(b(0xEB, 0xFE), 0, pc=100)
+        assert decoded.target == 100 + 2 - 2
+
+    def test_jmp_rel32(self):
+        decoded = decode_at(b(0xE9, 0x00, 0x01, 0x00, 0x00), 0, pc=0)
+        assert decoded.length == 5
+        assert decoded.target == 5 + 0x100
+
+    def test_call_rel32_negative(self):
+        decoded = decode_at(b(0xE8, 0xFC, 0xFF, 0xFF, 0xFF), 0, pc=1000)
+        assert decoded.kind is BranchKind.CALL
+        assert decoded.target == 1000 + 5 - 4
+
+    def test_jcc_rel8(self):
+        decoded = decode_at(b(0x74, 0x05), 0, pc=0)
+        assert decoded.kind is BranchKind.DIRECT_COND
+        assert decoded.target == 7
+
+    def test_jcc_rel32_two_byte(self):
+        decoded = decode_at(b(0x0F, 0x84, 0x10, 0x00, 0x00, 0x00), 0, pc=0)
+        assert decoded.kind is BranchKind.DIRECT_COND
+        assert decoded.length == 6
+        assert decoded.target == 6 + 0x10
+
+    def test_indirect_jmp_register(self):
+        decoded = decode_at(b(0xFF, 0b11_100_000), 0)
+        assert decoded.kind is BranchKind.INDIRECT_UNCOND
+        assert decoded.length == 2
+        assert decoded.target is None
+
+    def test_indirect_call_memory(self):
+        decoded = decode_at(b(0xFF, 0b10_010_001, 1, 2, 3, 4), 0)
+        assert decoded.kind is BranchKind.INDIRECT_CALL
+        assert decoded.length == 6
+
+    def test_ff_group_non_branch(self):
+        decoded = decode_at(b(0xFF, 0b11_000_000), 0)  # inc r/m
+        assert decoded.kind is BranchKind.NOT_BRANCH
+
+
+class TestPrefixes:
+    def test_single_prefix(self):
+        decoded = decode_at(b(0x66, 0x90), 0)
+        assert decoded.length == 2
+        assert decoded.kind is BranchKind.NOT_BRANCH
+
+    def test_prefix_on_branch_keeps_kind(self):
+        decoded = decode_at(b(0x48, 0xC3), 0)
+        assert decoded.kind is BranchKind.RETURN
+        assert decoded.length == 2
+
+    def test_prefix_run_to_limit_is_invalid(self):
+        assert decode_at(bytes([0x66] * 16), 0) is None
+
+    def test_fourteen_prefixes_plus_nop(self):
+        decoded = decode_at(bytes([0x66] * 14 + [0x90]), 0)
+        assert decoded.length == 15
+
+    def test_prefix_shifts_relative_base(self):
+        # prefix + jmp rel8: target measured from instruction start.
+        decoded = decode_at(b(0x66, 0xEB, 0x10), 0, pc=0)
+        assert decoded.length == 3
+        assert decoded.target == 3 + 0x10
+
+
+class TestInvalidAndTruncated:
+    def test_invalid_primary(self):
+        assert decode_at(b(0x06), 0) is None
+
+    def test_invalid_secondary(self):
+        assert decode_at(b(0x0F, 0x04), 0) is None
+
+    def test_truncated_immediate(self):
+        assert decode_at(b(0xE9, 0x01, 0x02), 0) is None
+
+    def test_truncated_modrm(self):
+        assert decode_at(b(0x89), 0) is None
+
+    def test_truncated_sib(self):
+        assert decode_at(b(0x89, 0b01_000_100), 0) is None
+
+    def test_escape_at_end(self):
+        assert decode_at(b(0x0F), 0) is None
+
+    def test_out_of_range_offset(self):
+        assert decode_at(b(0x90), 5) is None
+        assert decode_at(b(0x90), -1) is None
+
+    def test_empty(self):
+        assert decode_at(b(), 0) is None
+
+
+class TestLimit:
+    def test_limit_cuts_instruction(self):
+        code = b(0xE9, 0x00, 0x00, 0x00, 0x00, 0x90)
+        assert decode_at(code, 0, limit=4) is None
+        assert decode_at(code, 0, limit=5) is not None
+
+    def test_limit_allows_exact_fit(self):
+        assert decode_at(b(0x74, 0x00), 0, limit=2) is not None
+
+    def test_limit_beyond_buffer_clamped(self):
+        assert decode_at(b(0x90), 0, limit=100) is not None
+
+
+class TestInstructionLength:
+    def test_valid(self):
+        assert instruction_length(b(0x90), 0) == 1
+
+    def test_invalid_is_zero(self):
+        assert instruction_length(b(0x06), 0) == 0
+
+    def test_figure9_zero_convention(self):
+        # The Index Computation phase records 0 where no instruction
+        # starts (Figure 9 in the paper).
+        code = b(0x0F, 0x04)  # invalid two-byte encoding
+        assert instruction_length(code, 0) == 0
+
+
+class TestDecoderClass:
+    def test_memoises(self):
+        decoder = Decoder(b(0x90, 0xC3))
+        first = decoder.decode(0)
+        second = decoder.decode(0)
+        assert first is second
+
+    def test_base_pc_applied(self):
+        decoder = Decoder(b(0xEB, 0x02), base_pc=0x400000)
+        decoded = decoder.decode(0)
+        assert decoded.pc == 0x400000
+        assert decoded.target == 0x400004
+
+    def test_decode_pc(self):
+        decoder = Decoder(b(0x90, 0xC3), base_pc=0x1000)
+        decoded = decoder.decode_pc(0x1001)
+        assert decoded.kind is BranchKind.RETURN
+
+    def test_linear_sweep(self):
+        decoder = Decoder(b(0x90, 0x90, 0xC3, 0x90))
+        instructions = decoder.linear_sweep(0, 3)
+        assert [i.length for i in instructions] == [1, 1, 1]
+        assert instructions[-1].kind is BranchKind.RETURN
+
+    def test_linear_sweep_stops_on_invalid(self):
+        decoder = Decoder(b(0x90, 0x06, 0x90))
+        instructions = decoder.linear_sweep(0, 3)
+        assert len(instructions) == 1
+
+    def test_length_helper(self):
+        decoder = Decoder(b(0x90))
+        assert decoder.length(0) == 1
+        assert decoder.length(5) == 0
+
+
+class TestMidInstructionAmbiguity:
+    """The property head shadow decoding relies on: decoding from a wrong
+    offset can produce a valid-but-different instruction stream."""
+
+    def test_immediate_bytes_decode_differently(self):
+        # mov eax, imm32 where the immediate contains a RET byte.
+        code = b(0xB8, 0xC3, 0x00, 0x00, 0x00)
+        true = decode_at(code, 0)
+        assert true.length == 5
+        shifted = decode_at(code, 1)
+        assert shifted is not None
+        assert shifted.kind is BranchKind.RETURN
+
+    def test_figure8_style_convergence(self):
+        # Two decode paths (offset 0 and 1) that converge on the same
+        # later instruction, like the paper's Figure 8.
+        code = b(0x31, 0xD8, 0xC3)  # xor; ret -- offset1: one-byte op; ret
+        path0 = []
+        offset = 0
+        while offset < len(code):
+            decoded = decode_at(code, offset)
+            path0.append(offset)
+            offset += decoded.length
+        assert path0 == [0, 2]
+        mid = decode_at(code, 1)
+        assert mid is not None  # a valid (bogus) instruction exists
+
+
+@pytest.mark.parametrize("byte", [0x06, 0x07, 0x0E, 0x16, 0x17, 0x1E,
+                                  0x27, 0x2F, 0x37, 0x3F, 0x60, 0x61,
+                                  0x62, 0x82, 0x9A, 0xD4, 0xD5, 0xD6,
+                                  0xEA, 0xF1])
+def test_all_invalid_primaries_fail(byte):
+    assert decode_at(bytes([byte, 0, 0, 0, 0, 0]), 0) is None

@@ -1,0 +1,88 @@
+"""Disassembler rendering."""
+
+from repro.isa.branch import BranchKind
+from repro.isa.disasm import (
+    DisasmLine,
+    disassemble,
+    disassemble_line_region,
+    format_listing,
+)
+
+
+class TestDisassemble:
+    def test_simple_stream(self):
+        code = bytes([0x90, 0xC3, 0x50])
+        lines = disassemble(code)
+        assert [line.text for line in lines][1] == "ret"
+        assert lines[0].pc == 0
+        assert lines[1].pc == 1
+
+    def test_branch_target_rendered(self):
+        code = bytes([0xE8, 0x10, 0x00, 0x00, 0x00])
+        lines = disassemble(code, base_pc=0x400000)
+        assert lines[0].text == "call rel32 0x400015"
+        assert lines[0].kind is BranchKind.CALL
+
+    def test_invalid_bytes_rendered_as_bad(self):
+        code = bytes([0x90, 0x06, 0x90])
+        lines = disassemble(code)
+        assert [line.text for line in lines] == ["nop/xchg", "(bad)",
+                                                 "nop/xchg"]
+        assert lines[1].kind is None
+
+    def test_skip_invalid_stops(self):
+        code = bytes([0x90, 0x06, 0x90])
+        lines = disassemble(code, skip_invalid=True)
+        assert len(lines) == 1
+
+    def test_window_bounds(self):
+        code = bytes([0x90] * 10)
+        lines = disassemble(code, start=2, stop=5)
+        assert len(lines) == 3
+        assert lines[0].pc == 2
+
+    def test_raw_bytes_match(self):
+        code = bytes([0xEB, 0x05, 0x90])
+        lines = disassemble(code)
+        assert lines[0].raw == bytes([0xEB, 0x05])
+
+
+class TestFormatting:
+    def test_render_line(self):
+        line = DisasmLine(pc=0x400000, raw=b"\xc3", text="ret",
+                          kind=BranchKind.RETURN)
+        text = line.render()
+        assert "0x00400000" in text
+        assert "c3" in text
+        assert "ret" in text
+
+    def test_listing_marks_branches(self):
+        code = bytes([0x90, 0xC3])
+        listing = format_listing(disassemble(code))
+        assert "<-- Return" in listing
+        assert "nop" in listing
+
+    def test_line_region_zones(self):
+        image = bytes([0x90] * 64)
+        listing = disassemble_line_region(image, 0, 0, entry_offset=8,
+                                          exit_offset=40)
+        assert "HEAD shadow" in listing
+        assert "TAIL shadow" in listing
+        assert "exec" in listing
+
+    def test_line_region_without_annotations(self):
+        image = bytes([0x90] * 64)
+        listing = disassemble_line_region(image, 0, 0)
+        assert "HEAD" not in listing
+        assert "exec" in listing
+
+
+class TestRealProgram:
+    def test_disassembles_generated_code(self, micro_program):
+        block = next(micro_program.iter_blocks())
+        start = block.start_pc - micro_program.base_address
+        lines = disassemble(micro_program.image, start, start + block.size,
+                            base_pc=micro_program.base_address)
+        assert len(lines) == block.num_instructions
+        assert lines[0].pc == block.start_pc
+        assert lines[-1].kind is block.terminator.kind

@@ -1,0 +1,85 @@
+"""Instruction data-model unit tests."""
+
+import pytest
+
+from repro.isa.branch import REPORTED_KINDS, BranchKind
+from repro.isa.instruction import DecodedInstruction, Instruction
+
+
+class TestDecodedInstruction:
+    def test_end(self):
+        decoded = DecodedInstruction(pc=100, length=5,
+                                     kind=BranchKind.CALL, target=200)
+        assert decoded.end == 105
+
+    def test_is_branch(self):
+        assert DecodedInstruction(0, 1, BranchKind.RETURN).is_branch
+        assert not DecodedInstruction(0, 1, BranchKind.NOT_BRANCH).is_branch
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            DecodedInstruction(pc=0, length=0, kind=BranchKind.NOT_BRANCH)
+
+    def test_frozen(self):
+        decoded = DecodedInstruction(0, 1, BranchKind.NOT_BRANCH)
+        with pytest.raises(AttributeError):
+            decoded.length = 2
+
+
+class TestInstruction:
+    def test_length(self):
+        ins = Instruction(encoding=bytearray(b"\x90\x90"))
+        assert ins.length == 2
+
+    def test_is_branch(self):
+        assert Instruction(encoding=bytearray(b"\xc3"),
+                           kind=BranchKind.RETURN).is_branch
+        assert not Instruction(encoding=bytearray(b"\x90")).is_branch
+
+    def test_patch_writes_little_endian(self):
+        ins = Instruction(encoding=bytearray(5), kind=BranchKind.CALL,
+                          target_label=0, rel_width=4, rel_offset=1)
+        ins.pc = 0
+        ins.patch_relative(0x12345678 + 5)
+        assert ins.encoding[1:5] == bytes([0x78, 0x56, 0x34, 0x12])
+
+    def test_patch_negative_displacement(self):
+        ins = Instruction(encoding=bytearray(2), kind=BranchKind.DIRECT_UNCOND,
+                          target_label=0, rel_width=1, rel_offset=1)
+        ins.pc = 100
+        ins.patch_relative(100 + 2 - 1)
+        assert ins.encoding[1] == 0xFF  # -1 as u8
+
+
+class TestBranchKindTaxonomy:
+    def test_direct_vs_indirect_partition(self):
+        for kind in REPORTED_KINDS:
+            assert kind.is_direct != kind.is_indirect or (
+                kind is BranchKind.RETURN)
+
+    def test_return_neither_direct_nor_indirect(self):
+        assert not BranchKind.RETURN.is_direct
+        assert not BranchKind.RETURN.is_indirect
+
+    def test_sbb_eligibility_matches_section_2_4(self):
+        eligible = {kind for kind in BranchKind if kind.sbb_eligible}
+        assert eligible == {BranchKind.DIRECT_UNCOND, BranchKind.CALL,
+                            BranchKind.RETURN}
+
+    def test_conditional_flags(self):
+        assert BranchKind.DIRECT_COND.is_conditional
+        assert not BranchKind.DIRECT_COND.is_unconditional
+        assert BranchKind.CALL.is_unconditional
+
+    def test_call_flags(self):
+        assert BranchKind.CALL.is_call
+        assert BranchKind.INDIRECT_CALL.is_call
+        assert not BranchKind.RETURN.is_call
+
+    def test_not_branch(self):
+        assert not BranchKind.NOT_BRANCH.is_branch
+        assert not BranchKind.NOT_BRANCH.sbb_eligible
+
+    def test_reported_kinds_complete(self):
+        assert len(REPORTED_KINDS) == 6
+        assert BranchKind.NOT_BRANCH not in REPORTED_KINDS

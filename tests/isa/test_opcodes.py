@@ -1,0 +1,131 @@
+"""Opcode table invariants."""
+
+from repro.isa.branch import BranchKind
+from repro.isa.opcodes import (
+    INVALID_PRIMARY,
+    MAX_INSTRUCTION_LENGTH,
+    PREFIX_BYTES,
+    PRIMARY_MAP,
+    SECONDARY_MAP,
+    Format,
+    ff_group_kind,
+    modrm_tail_length,
+)
+
+
+class TestPrimaryMap:
+    def test_every_byte_assigned(self):
+        assert set(PRIMARY_MAP) == set(range(256))
+
+    def test_invalid_bytes_marked_invalid(self):
+        for byte in INVALID_PRIMARY:
+            assert PRIMARY_MAP[byte].format is Format.INVALID
+
+    def test_prefixes_marked_prefix(self):
+        for byte in PREFIX_BYTES:
+            assert PRIMARY_MAP[byte].format is Format.PREFIX
+
+    def test_rex_range_is_prefix(self):
+        for byte in range(0x40, 0x50):
+            assert byte in PREFIX_BYTES
+
+    def test_escape_byte(self):
+        assert PRIMARY_MAP[0x0F].format is Format.ESCAPE
+
+    def test_branch_opcodes(self):
+        assert PRIMARY_MAP[0xC3].kind is BranchKind.RETURN
+        assert PRIMARY_MAP[0xC2].kind is BranchKind.RETURN
+        assert PRIMARY_MAP[0xE8].kind is BranchKind.CALL
+        assert PRIMARY_MAP[0xE9].kind is BranchKind.DIRECT_UNCOND
+        assert PRIMARY_MAP[0xEB].kind is BranchKind.DIRECT_UNCOND
+        for byte in range(0x70, 0x80):
+            assert PRIMARY_MAP[byte].kind is BranchKind.DIRECT_COND
+
+    def test_jcc_rel8_immediate_width(self):
+        for byte in range(0x70, 0x80):
+            assert PRIMARY_MAP[byte].imm_bytes == 1
+
+    def test_call_and_jmp_rel32_width(self):
+        assert PRIMARY_MAP[0xE8].imm_bytes == 4
+        assert PRIMARY_MAP[0xE9].imm_bytes == 4
+
+    def test_ff_group_marked(self):
+        assert PRIMARY_MAP[0xFF].format is Format.GROUP_FF
+
+    def test_no_primary_branch_without_rel_format(self):
+        for byte, info in PRIMARY_MAP.items():
+            if info.kind.is_branch and info.format not in (
+                    Format.RET, Format.GROUP_FF):
+                assert info.format is Format.REL, hex(byte)
+
+
+class TestSecondaryMap:
+    def test_every_byte_assigned(self):
+        assert set(SECONDARY_MAP) == set(range(256))
+
+    def test_jcc_rel32(self):
+        for byte in range(0x80, 0x90):
+            info = SECONDARY_MAP[byte]
+            assert info.kind is BranchKind.DIRECT_COND
+            assert info.format is Format.REL
+            assert info.imm_bytes == 4
+
+    def test_has_invalid_entries(self):
+        # The secondary map must contain invalid encodings -- they are
+        # what kills candidate paths during head shadow decoding.
+        invalid = [byte for byte, info in SECONDARY_MAP.items()
+                   if info.format is Format.INVALID]
+        assert len(invalid) > 50
+
+    def test_nop_rm_is_modrm(self):
+        assert SECONDARY_MAP[0x1F].format is Format.MODRM
+
+
+class TestFFGroup:
+    def test_indirect_call_regs(self):
+        assert ff_group_kind(0b11_010_000) is BranchKind.INDIRECT_CALL
+        assert ff_group_kind(0b11_011_000) is BranchKind.INDIRECT_CALL
+
+    def test_indirect_jmp_regs(self):
+        assert ff_group_kind(0b11_100_000) is BranchKind.INDIRECT_UNCOND
+        assert ff_group_kind(0b11_101_000) is BranchKind.INDIRECT_UNCOND
+
+    def test_non_branch_regs(self):
+        for reg in (0, 1, 6, 7):
+            modrm = 0b11_000_000 | (reg << 3)
+            assert ff_group_kind(modrm) is BranchKind.NOT_BRANCH
+
+
+class TestModRMTailLength:
+    def test_register_operand(self):
+        assert modrm_tail_length(0b11_000_000, None) == 1
+
+    def test_mod0_plain(self):
+        assert modrm_tail_length(0b00_000_001, None) == 1
+
+    def test_mod0_rip_relative_disp32(self):
+        assert modrm_tail_length(0b00_000_101, None) == 5
+
+    def test_mod1_disp8(self):
+        assert modrm_tail_length(0b01_000_001, None) == 2
+
+    def test_mod2_disp32(self):
+        assert modrm_tail_length(0b10_000_001, None) == 5
+
+    def test_sib_required(self):
+        assert modrm_tail_length(0b00_000_100, None) is None
+
+    def test_sib_plain(self):
+        assert modrm_tail_length(0b00_000_100, 0b00_000_000) == 2
+
+    def test_sib_base5_mod0_disp32(self):
+        assert modrm_tail_length(0b00_000_100, 0b00_000_101) == 6
+
+    def test_sib_mod1(self):
+        assert modrm_tail_length(0b01_000_100, 0b00_000_000) == 3
+
+    def test_sib_mod2(self):
+        assert modrm_tail_length(0b10_000_100, 0b00_000_000) == 6
+
+    def test_max_length_constant(self):
+        assert MAX_INSTRUCTION_LENGTH == 15

@@ -1,0 +1,37 @@
+"""Top-level package surface."""
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_workload_names_exposed(self):
+        assert len(repro.WORKLOAD_NAMES) == 16
+
+
+class TestQuickCompare:
+    def test_small_run(self):
+        result = repro.quick_compare("noop", records=12_000, warmup=4_000)
+        assert result.workload == "noop"
+        assert result.baseline.ipc > 0
+        assert result.skia.ipc > 0
+        assert -0.2 < result.speedup < 0.5
+
+    def test_render_fields(self):
+        result = repro.quick_compare("noop", records=8_000, warmup=2_000)
+        text = result.render()
+        for needle in ("baseline IPC", "speedup", "BTB miss MPKI",
+                       "SBB hits"):
+            assert needle in text
+
+    def test_deterministic(self):
+        first = repro.quick_compare("noop", records=8_000, warmup=2_000)
+        second = repro.quick_compare("noop", records=8_000, warmup=2_000)
+        assert first.baseline.cycles == second.baseline.cycles
+        assert first.skia.cycles == second.skia.cycles

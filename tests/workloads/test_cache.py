@@ -1,0 +1,48 @@
+"""Workload cache memoisation."""
+
+from repro.workloads.cache import WorkloadCache
+
+
+class TestWorkloadCache:
+    def test_program_memoised(self):
+        cache = WorkloadCache()
+        first = cache.program("noop", seed=1)
+        second = cache.program("noop", seed=1)
+        assert first is second
+
+    def test_seed_separates(self):
+        cache = WorkloadCache()
+        assert cache.program("noop", seed=1) is not cache.program(
+            "noop", seed=2)
+
+    def test_bolted_separates(self):
+        cache = WorkloadCache()
+        plain = cache.program("noop", seed=1)
+        bolted = cache.program("noop", seed=1, bolted=True)
+        assert plain is not bolted
+        assert bolted.name.endswith("+bolt")
+
+    def test_trace_memoised(self):
+        cache = WorkloadCache()
+        first = cache.trace("noop", 2_000, seed=1)
+        second = cache.trace("noop", 2_000, seed=1)
+        assert first is second
+
+    def test_trace_length_separates(self):
+        cache = WorkloadCache()
+        assert cache.trace("noop", 1_000) is not cache.trace("noop", 2_000)
+
+    def test_trace_eviction(self):
+        cache = WorkloadCache(max_traces=2)
+        first = cache.trace("noop", 1_000)
+        cache.trace("noop", 1_100)
+        cache.trace("noop", 1_200)  # evicts the 1_000 trace
+        again = cache.trace("noop", 1_000)
+        assert again is not first
+        assert again == first  # deterministic regeneration
+
+    def test_clear(self):
+        cache = WorkloadCache()
+        first = cache.program("noop")
+        cache.clear()
+        assert cache.program("noop") is not first

@@ -1,0 +1,158 @@
+"""Program generator behaviour across profiles and seeds."""
+
+import pytest
+
+from repro.isa.branch import BranchKind
+from repro.isa.decoder import decode_at
+from repro.workloads.codegen import ProgramGenerator
+from repro.workloads.profiles import PROFILES, get_profile
+from tests.conftest import make_profile
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        profile = make_profile()
+        first = ProgramGenerator(profile, seed=3).generate()
+        second = ProgramGenerator(profile, seed=3).generate()
+        assert first.image == second.image
+
+    def test_different_seeds_differ(self):
+        profile = make_profile()
+        first = ProgramGenerator(profile, seed=3).generate()
+        second = ProgramGenerator(profile, seed=4).generate()
+        assert first.image != second.image
+
+    def test_function_count(self, micro_program, micro_profile):
+        expected = 1 + micro_profile.n_handlers + micro_profile.n_lib_funcs
+        assert len(micro_program.functions) == expected
+
+    def test_direct_branch_targets_patched(self, micro_program):
+        """Every direct branch in the image decodes to the address of its
+        target block -- layout and patching agree."""
+        for block in micro_program.iter_blocks():
+            terminator = block.terminator
+            if terminator.rel_width == 0 or terminator.target_label is None:
+                continue
+            decoded = decode_at(micro_program.image,
+                                terminator.pc - micro_program.base_address,
+                                pc=terminator.pc)
+            target_block = micro_program.block(terminator.target_label)
+            assert decoded.target == target_block.start_pc
+
+    def test_call_graph_is_dag(self, micro_program):
+        """Callees always come later in the function list (no recursion)."""
+        order = {f.name: i for i, f in enumerate(micro_program.functions)}
+        index_of_entry = {f.entry_label: f.name
+                          for f in micro_program.functions}
+        # DAG property is by construction on the handler/library index,
+        # not the layout order; verify no call-cycle via DFS.
+        calls: dict[str, set[str]] = {f.name: set()
+                                      for f in micro_program.functions}
+        for function in micro_program.functions:
+            for block in function.blocks:
+                terminator = block.terminator
+                if (terminator.kind is BranchKind.CALL
+                        and terminator.target_label is not None):
+                    callee = index_of_entry[terminator.target_label]
+                    calls[function.name].add(callee)
+
+        state: dict[str, int] = {}
+
+        def has_cycle(node: str) -> bool:
+            state[node] = 1
+            for nxt in calls[node]:
+                mark = state.get(nxt, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and has_cycle(nxt):
+                    return True
+            state[node] = 2
+            return False
+
+        assert not any(has_cycle(f) for f in calls if state.get(f, 0) == 0)
+        assert order  # silence unused warning
+
+    def test_calls_target_function_entries(self, micro_program):
+        entries = {f.entry_label for f in micro_program.functions}
+        for block in micro_program.iter_blocks():
+            terminator = block.terminator
+            if terminator.kind is BranchKind.CALL:
+                assert terminator.target_label in entries
+
+    def test_loop_backedges_have_trip_counts(self, micro_program):
+        loops = [b for b in micro_program.iter_blocks()
+                 if b.loop_trip is not None]
+        assert loops, "micro profile should generate loops"
+        for block in loops:
+            assert block.terminator.kind is BranchKind.DIRECT_COND
+            assert block.loop_trip >= 2
+            target = micro_program.block(block.terminator.target_label)
+            assert target.start_pc < block.start_pc  # backward edge
+
+    def test_pattern_blocks_well_formed(self, micro_program):
+        patterns = [b for b in micro_program.iter_blocks()
+                    if b.pattern_bits is not None]
+        assert patterns, "micro profile should generate pattern conds"
+        for block in patterns:
+            assert block.terminator.kind is BranchKind.DIRECT_COND
+            assert 1 <= block.pattern_len
+            assert 0 <= block.pattern_bits < (1 << block.pattern_len)
+
+    def test_indirect_blocks_have_candidates(self, micro_program):
+        for block in micro_program.iter_blocks():
+            if block.terminator.kind.is_indirect:
+                assert block.indirect_targets
+                for label, weight in block.indirect_targets:
+                    micro_program.block(label)  # resolvable
+                    assert weight > 0
+
+    def test_last_block_returns(self, micro_program):
+        for function in micro_program.functions:
+            if function.name == "main":
+                continue
+            assert function.blocks[-1].terminator.kind is BranchKind.RETURN
+
+    def test_main_dispatch_targets_all_handlers(self, micro_program,
+                                                micro_profile):
+        main = micro_program.functions[0]
+        dispatch = main.blocks[0]
+        assert dispatch.terminator.kind is BranchKind.INDIRECT_CALL
+        assert len(dispatch.indirect_targets) == micro_profile.n_handlers
+
+
+class TestLayoutPolicies:
+    def test_shuffle_policy(self):
+        profile = make_profile(layout_policy="shuffle")
+        program = ProgramGenerator(profile, seed=1).generate()
+        assert program.functions[0].name == "main"
+
+    def test_scatter_spreads_hot_functions(self):
+        profile = make_profile(layout_policy="scatter",
+                               hot_handler_fraction=0.2)
+        program = ProgramGenerator(profile, seed=1).generate()
+        # Hot (low-rank) handlers should not be contiguous in layout.
+        positions = [i for i, f in enumerate(program.functions)
+                     if f.name in ("handler_0", "handler_1", "handler_2")]
+        assert len(positions) == 3
+        assert max(positions) - min(positions) > 3
+
+    def test_alignment_respected(self):
+        profile = make_profile(function_alignment=16)
+        program = ProgramGenerator(profile, seed=1).generate()
+        for function in program.functions:
+            assert function.blocks[0].start_pc % 16 == 0
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_all_registered_profiles_have_sane_weights(name):
+    profile = get_profile(name)
+    assert profile.weights_sum() > 0
+    assert 0 < profile.hot_handler_fraction <= 1
+    assert profile.n_handlers > 0
+    assert profile.loop_trip_range[0] >= 2
+    assert profile.dispatch_run_range[0] >= 1
+
+
+def test_get_profile_unknown_raises():
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_profile("nope")

@@ -1,0 +1,90 @@
+"""Profile registry invariants and calibration-class consistency."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    PROFILES,
+    WORKLOAD_NAMES,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_sixteen_table2_workloads(self):
+        assert len(WORKLOAD_NAMES) == 16
+
+    def test_prebolt_extra_profile(self):
+        assert "verilator-prebolt" in PROFILES
+        assert "verilator-prebolt" not in WORKLOAD_NAMES
+
+    def test_all_names_resolve(self):
+        for name in WORKLOAD_NAMES:
+            assert get_profile(name).name == name
+
+    def test_suites_match_table2(self):
+        suites = {get_profile(name).suite for name in WORKLOAD_NAMES}
+        assert suites == {"DaCapo", "Renaissance", "OLTPBench", "Chipyard",
+                          "BrowserBench"}
+
+    def test_oltp_has_eight(self):
+        oltp = [name for name in WORKLOAD_NAMES
+                if get_profile(name).suite == "OLTPBench"]
+        assert len(oltp) == 8  # tpcc, ycsb, twitter, voter, smallbank,
+        #                        tatp, sibench, noop
+
+
+class TestCalibrationClasses:
+    def test_high_gain_workloads_are_call_heavy(self):
+        for name in WORKLOAD_NAMES:
+            profile = get_profile(name)
+            if profile.expected.gain_class == "high":
+                assert profile.p_call_block > 0.3, name
+
+    def test_kafka_is_conditional_heavy(self):
+        kafka = get_profile("kafka")
+        assert kafka.p_cond_block > 0.6
+        assert kafka.p_call_block < 0.1
+        assert not kafka.cold_path_eligible_bias
+
+    def test_low_miss_workloads_are_small_and_skewed(self):
+        for name in ("finagle-chirper", "speedometer2.0"):
+            profile = get_profile(name)
+            assert profile.n_handlers < 500, name
+            assert profile.handler_zipf_s > 1.1, name
+
+    def test_expected_gains_ordered_by_class(self):
+        highs = [get_profile(n).expected.ipc_gain_pct
+                 for n in WORKLOAD_NAMES
+                 if get_profile(n).expected.gain_class == "high"]
+        lows = [get_profile(n).expected.ipc_gain_pct
+                for n in WORKLOAD_NAMES
+                if get_profile(n).expected.gain_class == "low"]
+        assert min(highs) > max(lows)
+
+    def test_prebolt_texture_differs_from_bolted(self):
+        prebolt = get_profile("verilator-prebolt")
+        bolted = get_profile("verilator-bolted")
+        assert prebolt.p_jmp_block > bolted.p_jmp_block
+        assert prebolt.layout_policy == "shuffle"
+        assert bolted.layout_policy == "scatter"
+
+
+class TestProfileDataclass:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            get_profile("noop").n_handlers = 1
+
+    def test_defaults_sane(self):
+        profile = WorkloadProfile(name="x")
+        assert profile.weights_sum() > 0
+        assert profile.block_instrs[0] >= 1
+        assert profile.pattern_len_range[0] >= 1
+        assert 0 <= profile.p_pattern_cond <= 1
+
+    def test_expected_metadata_present_for_all(self):
+        for name in WORKLOAD_NAMES:
+            expected = get_profile(name).expected
+            assert expected.l1i_mpki_real > 0
+            assert expected.ipc_gain_pct > 0
+            assert expected.gain_class in {"low", "mid", "high"}

@@ -1,0 +1,97 @@
+"""Binary trace format round-trips and corruption handling."""
+
+import gzip
+import struct
+
+import pytest
+
+from repro.workloads.traceio import (
+    MAGIC,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_info,
+)
+
+
+class TestRoundTrip:
+    def test_lossless(self, micro_trace, tmp_path):
+        path = tmp_path / "trace.sktr"
+        save_trace(micro_trace[:3_000], path)
+        loaded = load_trace(path)
+        assert loaded == micro_trace[:3_000]
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.sktr"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_compression_effective(self, micro_trace, tmp_path):
+        path = tmp_path / "trace.sktr"
+        save_trace(micro_trace, path)
+        raw_size = len(micro_trace) * 26
+        assert path.stat().st_size < raw_size / 2
+
+    def test_info(self, micro_trace, tmp_path):
+        path = tmp_path / "trace.sktr"
+        save_trace(micro_trace[:1_000], path)
+        info = trace_info(path)
+        assert info["records"] == 1_000
+        assert info["instructions"] > 0
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.sktr"
+        with gzip.open(path, "wb") as stream:
+            stream.write(struct.pack("<4sHHQQ", b"NOPE", 1, 0, 0, 0))
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.sktr"
+        with gzip.open(path, "wb") as stream:
+            stream.write(struct.pack("<4sHHQQ", MAGIC, 99, 0, 0, 0))
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.sktr"
+        with gzip.open(path, "wb") as stream:
+            stream.write(b"SK")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace(path)
+
+    def test_truncated_payload(self, micro_trace, tmp_path):
+        path = tmp_path / "bad.sktr"
+        with gzip.open(path, "wb") as stream:
+            stream.write(struct.pack("<4sHHQQ", MAGIC, 1, 0, 100, 0))
+            stream.write(b"\x00" * 10)
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(path)
+
+    def test_unknown_kind_code(self, tmp_path):
+        path = tmp_path / "bad.sktr"
+        with gzip.open(path, "wb") as stream:
+            stream.write(struct.pack("<4sHHQQ", MAGIC, 1, 0, 1, 0))
+            stream.write(struct.pack("<QHHBBBBQ", 0, 1, 0, 1, 250, 1, 0, 0))
+        with pytest.raises(TraceFormatError, match="kind"):
+            load_trace(path)
+
+
+class TestSimulationEquivalence:
+    def test_simulating_loaded_trace_matches(self, micro_program,
+                                             micro_trace, tmp_path):
+        """A round-tripped trace produces bit-identical simulation."""
+        from repro.frontend.config import FrontEndConfig
+        from repro.frontend.engine import simulate
+
+        path = tmp_path / "trace.sktr"
+        save_trace(micro_trace, path)
+        loaded = load_trace(path)
+        original = simulate(micro_program, micro_trace, FrontEndConfig(),
+                            warmup=1_000)
+        reloaded = simulate(micro_program, loaded, FrontEndConfig(),
+                            warmup=1_000)
+        assert original.cycles == reloaded.cycles
+        assert original.total_btb_misses == reloaded.total_btb_misses
