@@ -2,8 +2,10 @@
 
 PYTHON ?= python3
 SCALE ?= quick
+# Simulation worker processes for bench targets (0 = all CPUs).
+JOBS ?= 1
 
-.PHONY: install test bench bench-smoke report examples clean
+.PHONY: install test bench bench-smoke report examples clean clean-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,10 +17,10 @@ test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
 bench:
-	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_SCALE=$(SCALE) REPRO_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-smoke:
-	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_SCALE=smoke REPRO_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 report:
 	$(PYTHON) -m repro report
@@ -31,5 +33,9 @@ examples:
 	$(PYTHON) examples/btb_scaling_study.py
 
 clean:
-	rm -rf .pytest_cache benchmarks/bench_results
+	rm -rf .pytest_cache benchmarks/bench_results .repro_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +
+
+# Drop only the persistent result store (force cold re-simulation).
+clean-cache:
+	rm -rf .repro_cache

@@ -6,25 +6,66 @@ together with ``bench_results/`` is a full reproduction of Section 6.
 
 ``REPRO_SCALE`` controls trace length (see repro.harness.scale); the
 sweep densities below also shrink at smoke scale so CI stays fast.
+
+``REPRO_JOBS`` controls parallelism: when set (and not 1), the session
+runner fans every exhibit's cells out over a process pool *before* the
+first benchmark runs, so the timed exhibit functions assemble their
+tables from memo hits.  The persistent store (``.repro_cache/``) makes
+repeat invocations near-instant either way; ``REPRO_NO_STORE=1`` opts
+out.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.frontend.config import FrontEndConfig
+from repro.harness import experiments
+from repro.harness.parallel import Cell
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scale import current_scale
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
 
+#: Exhibits whose cells are pre-simulated when REPRO_JOBS requests
+#: parallelism.  One combined batch maximises dedup: the 8K-BTB baseline
+#: cells are shared by most of these.
+PREFETCH_EXHIBITS = ("fig1", "fig3", "fig6", "fig13", "fig14", "fig15",
+                     "fig16", "fig17", "fig18", "bolt", "bogus",
+                     "ablation-index", "ablation-paths",
+                     "ablation-retired")
+
+
+def _planned_cells(sweep_params: dict) -> list[Cell]:
+    cells: list[Cell] = []
+    for name in PREFETCH_EXHIBITS:
+        kwargs: dict = {"workloads": sweep_params["workloads"]}
+        if name in ("fig1", "fig3"):
+            kwargs["btb_sizes"] = sweep_params["btb_sizes"]
+        elif name == "fig17":
+            kwargs["splits"] = sweep_params["fig17_splits"]
+            kwargs["scales"] = sweep_params["fig17_scales"]
+        elif name == "ablation-paths":
+            kwargs["limits"] = sweep_params["max_paths_limits"]
+        cells += experiments.exhibit_cells(name, **kwargs)
+    base = FrontEndConfig()
+    cells += [Cell(workload, base.with_comparator(comparator))
+              for comparator in ("airbtb", "boomerang")
+              for workload in sweep_params["workloads"]]
+    return cells
+
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
+def runner(sweep_params) -> ExperimentRunner:
     """One memoised runner shared by every benchmark, so exhibits that
     need the same (workload, config) cells share the simulation."""
-    return ExperimentRunner(scale=current_scale())
+    runner = ExperimentRunner(scale=current_scale())
+    if os.environ.get("REPRO_JOBS", "").strip() not in ("", "1"):
+        runner.run_cells(_planned_cells(sweep_params), jobs=0)
+    return runner
 
 
 @pytest.fixture(scope="session")

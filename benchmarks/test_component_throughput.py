@@ -14,7 +14,7 @@ from repro.core.sbd import ShadowBranchDecoder
 from repro.frontend.config import FrontEndConfig, SkiaConfig
 from repro.frontend.engine import FrontEndSimulator
 from repro.frontend.predictor import ITTageLite, TageLite
-from repro.isa.decoder import decode_at
+from repro.isa.decoder import Decoder, decode_at
 from repro.isa.encoder import Encoder
 from repro.workloads.codegen import ProgramGenerator
 from repro.workloads.trace import TraceGenerator
@@ -40,6 +40,33 @@ def test_decode_throughput(benchmark, program):
             decode_at(image, offset)
 
     benchmark(decode_window)
+
+
+def test_decoder_memo_throughput(benchmark, program):
+    """The memoised Decoder on a hot window: after the first pass every
+    decode is an LRU hit, and the instance counters prove it."""
+    decoder = Decoder(program.image, base_pc=program.base_address)
+    offsets = list(range(0, min(len(program.image), 4096)))
+
+    def decode_window():
+        for offset in offsets:
+            decoder.decode(offset)
+
+    benchmark(decode_window)
+    stats = decoder.memo_stats
+    assert stats.hits > stats.misses  # repeat passes hit the memo
+    assert stats.misses >= len(offsets)  # each offset decoded once
+    print(stats.render("decoder memo"))
+
+
+def test_decoder_memo_bounded(program):
+    """A memo smaller than the sweep evicts instead of growing."""
+    decoder = Decoder(program.image, memo_size=256)
+    for offset in range(1024):
+        decoder.decode(offset)
+    stats = decoder.memo_stats
+    assert stats.size <= 256
+    assert stats.evictions >= 1024 - 256
 
 
 def test_encoder_throughput(benchmark):
@@ -104,6 +131,8 @@ def test_sbd_head_decode_throughput(benchmark, program):
             sbd.decode_head(entry)
 
     benchmark(run)
+    for name, stats in sbd.cache_stats().items():
+        print(stats.render(f"sbd {name}"))
 
 
 def test_sbd_tail_decode_throughput(benchmark, program):

@@ -5,6 +5,8 @@ ships: per-seed programs *and* traces differ, so this measures synthetic
 workload-generation variance.
 """
 
+import os
+
 from repro.frontend.config import FrontEndConfig, SkiaConfig
 from repro.harness.multiseed import speedup_metric, sweep_seeds
 from repro.harness.reporting import format_table
@@ -16,13 +18,16 @@ def test_seed_stability(benchmark, save_render):
     sweep_scale = Scale("seedsweep", records=min(scale.records, 120_000),
                         warmup=min(scale.warmup, 40_000))
     workloads = ("voter", "tpcc", "kafka")
+    # Seeds are independent simulations; honour REPRO_JOBS here since the
+    # sweep bypasses the shared session runner.
+    jobs = 0 if os.environ.get("REPRO_JOBS", "").strip() not in ("", "1") else 1
 
     def run():
         return {
             workload: sweep_seeds(
                 workload, speedup_metric, FrontEndConfig(),
                 FrontEndConfig(skia=SkiaConfig()),
-                seeds=(0, 1, 2), scale=sweep_scale)
+                seeds=(0, 1, 2), scale=sweep_scale, jobs=jobs)
             for workload in workloads
         }
 

@@ -40,24 +40,48 @@ EXPERIMENTS = {
 }
 
 
+def _add_common_options(parser: argparse.ArgumentParser,
+                        suppress: bool = False) -> None:
+    """Options accepted both before and after the subcommand.
+
+    Subcommand copies use ``SUPPRESS`` defaults so they only overwrite
+    the top-level values when actually given on the command line.
+    """
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument("--scale", choices=sorted(SCALES),
+                        default=default(None),
+                        help="trace scale (overrides REPRO_SCALE)")
+    parser.add_argument("--jobs", "-j", type=int, metavar="N",
+                        default=default(1),
+                        help="simulation worker processes (0 = all CPUs, "
+                             "or set REPRO_JOBS; default 1 = serial)")
+    parser.add_argument("--no-store", action="store_true",
+                        default=default(False),
+                        help="skip the persistent result store "
+                             "(equivalent to REPRO_NO_STORE=1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Skia (ASPLOS 2025) reproduction command line")
-    parser.add_argument("--scale", choices=sorted(SCALES),
-                        help="trace scale (overrides REPRO_SCALE)")
+    _add_common_options(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     compare = sub.add_parser("compare",
                              help="baseline vs Skia on one workload")
     compare.add_argument("workload", nargs="?", default="voter",
                          choices=sorted(WORKLOAD_NAMES))
+    _add_common_options(compare, suppress=True)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper exhibit")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--workloads", nargs="*", default=None,
                             help="restrict to these workloads")
+    _add_common_options(experiment, suppress=True)
 
     sub.add_parser("workloads", help="list workload profiles")
 
@@ -95,11 +119,17 @@ def _run_compare(args) -> int:
 
 def _run_experiment(args) -> int:
     scale = SCALES[args.scale] if args.scale else current_scale()
-    runner = ExperimentRunner(scale=scale)
+    store = None if args.no_store else "default"
+    runner = ExperimentRunner(scale=scale, store=store)
     function = EXPERIMENTS[args.name]
     kwargs = {}
     if args.workloads:
         kwargs["workloads"] = args.workloads
+    if args.jobs != 1:
+        # Fan the exhibit's whole grid out first; the exhibit function
+        # then assembles its tables from memo hits.
+        experiments.prefetch_exhibit(runner, args.name, jobs=args.jobs,
+                                     **kwargs)
     result = function(runner, **kwargs)
     print(result["render"])
     return 0

@@ -26,15 +26,43 @@ into the front-end:
 Decoded direct unconditional jumps/calls and returns are handed to the
 SBB.  Results are memoised per (line, boundary) because hot lines are
 re-decoded constantly.
+
+Caching (the per-cycle hot path)
+--------------------------------
+Program images are immutable, so every decode result is a pure function
+of (line address, boundary offset) and caching needs no invalidation.
+Three bounded LRU caches cooperate:
+
+* a **line decode cache** holding, per cache line, the instruction that
+  would start at *every* byte offset of the line (decoded against the
+  line-end limit).  Index Computation for any entry offset, the chosen-
+  path walk, and tail sweeps all read from this one vector, so a line
+  entered at several different offsets decodes its bytes exactly once;
+* the **head memo** per (line, entry offset) and the **tail memo** per
+  (line, exit offset), which make repeats of the same boundary free.
+
+A shorter decode limit can only turn a full-line decode result into
+``None`` -- never into a *different* instruction -- so a full-line decode
+whose length fits below the entry offset is byte-for-byte what a
+limit-at-entry decode would produce; the length-vector filter encodes
+exactly that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.caching import CacheStats, LRUCache
 from repro.isa.branch import BranchKind
 from repro.isa.decoder import decode_at
 from repro.frontend.config import IndexPolicy, SkiaConfig
+
+#: Default bounds for the per-decoder caches.  16K lines covers a 1MB
+#: image completely; 64K (line, offset) results cover every boundary of
+#: that image.  Long multi-program sweeps evict cold lines instead of
+#: growing without limit.
+DEFAULT_LINE_CACHE_LINES = 16_384
+DEFAULT_RESULT_MEMO_SIZE = 65_536
 
 
 @dataclass(frozen=True)
@@ -69,13 +97,49 @@ class ShadowBranchDecoder:
     """Stateless-per-line decoder over a program image, with memoisation."""
 
     def __init__(self, image: bytes, base_address: int,
-                 config: SkiaConfig, line_size: int = 64):
+                 config: SkiaConfig, line_size: int = 64,
+                 line_cache_lines: int | None = DEFAULT_LINE_CACHE_LINES,
+                 result_memo_size: int | None = DEFAULT_RESULT_MEMO_SIZE):
         self.image = image
         self.base_address = base_address
         self.config = config
         self.line_size = line_size
-        self._head_memo: dict[tuple[int, int], HeadDecodeResult] = {}
-        self._tail_memo: dict[tuple[int, int], TailDecodeResult] = {}
+        self._head_memo = LRUCache(maxsize=result_memo_size)
+        self._tail_memo = LRUCache(maxsize=result_memo_size)
+        self._line_cache = LRUCache(maxsize=line_cache_lines)
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters for the three decode caches."""
+        return {
+            "head_memo": self._head_memo.stats,
+            "tail_memo": self._tail_memo.stats,
+            "line_cache": self._line_cache.stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Per-line decode vector
+    # ------------------------------------------------------------------
+
+    def _line_decodes(self, line: int) -> list:
+        """The instruction starting at every byte offset of ``line``.
+
+        Decoded against the line-end limit (clamped to the image), with
+        correct virtual PCs, so entries can be shared between Index
+        Computation, path walks, and tail sweeps.  Offsets outside the
+        image decode to ``None``.
+        """
+        cached = self._line_cache.get(line)
+        if cached is not None:
+            return cached
+        image_base = line - self.base_address
+        limit = min(image_base + self.line_size, len(self.image))
+        decodes = [
+            decode_at(self.image, image_base + offset,
+                      pc=line + offset, limit=limit)
+            for offset in range(self.line_size)
+        ]
+        self._line_cache[line] = decodes
+        return decodes
 
     # ------------------------------------------------------------------
     # Tail decoding
@@ -102,19 +166,20 @@ class ShadowBranchDecoder:
     def _sweep(self, start_pc: int, limit_pc: int) -> TailDecodeResult:
         result = TailDecodeResult()
         offset = start_pc - self.base_address
-        limit = limit_pc - self.base_address
         if offset < 0 or offset >= len(self.image):
             return result
-        while offset < limit:
-            decoded = decode_at(self.image, offset,
-                                pc=self.base_address + offset, limit=limit)
+        line = limit_pc - self.line_size
+        decodes = self._line_decodes(line)
+        position = start_pc - line
+        while position < self.line_size:
+            decoded = decodes[position]
             if decoded is None:
                 break
             result.decoded_pcs.append(decoded.pc)
             if decoded.kind.sbb_eligible:
                 result.branches.append(ShadowBranch(
                     pc=decoded.pc, kind=decoded.kind, target=decoded.target))
-            offset += decoded.length
+            position += decoded.length
         return result
 
     # ------------------------------------------------------------------
@@ -143,6 +208,7 @@ class ShadowBranchDecoder:
         if image_base < 0 or image_base >= len(self.image):
             return HeadDecodeResult()
 
+        decodes = self._line_decodes(line)
         lengths = self._index_computation(image_base, entry_offset)
         valid_starts = self._path_validation(lengths, entry_offset)
 
@@ -156,12 +222,12 @@ class ShadowBranchDecoder:
         start = self._choose_start(valid_starts, lengths, entry_offset)
         result.chosen_start = start
 
-        # Walk the chosen path and collect eligible branches.
+        # Walk the chosen path and collect eligible branches.  Every step
+        # fits below the entry offset (the path validated), so the full-
+        # line decodes are exactly what a limit-at-entry decode yields.
         offset = start
         while offset < entry_offset:
-            decoded = decode_at(
-                self.image, image_base + offset,
-                pc=line + offset, limit=image_base + entry_offset)
+            decoded = decodes[offset]
             if decoded is None:  # pragma: no cover - path was validated
                 break
             result.decoded_pcs.append(decoded.pc)
@@ -173,12 +239,20 @@ class ShadowBranchDecoder:
 
     def _index_computation(self, image_base: int,
                            entry_offset: int) -> list[int]:
-        """Phase 1: the Length vector (0 = no valid instruction here)."""
-        limit = image_base + entry_offset
+        """Phase 1: the Length vector (0 = no valid instruction here).
+
+        Reads the shared line decode vector; an instruction that would
+        cross the entry boundary records 0, matching a decode performed
+        with the entry offset as its limit.
+        """
+        decodes = self._line_decodes(self.base_address + image_base)
         lengths = []
         for offset in range(entry_offset):
-            decoded = decode_at(self.image, image_base + offset, limit=limit)
-            lengths.append(0 if decoded is None else decoded.length)
+            decoded = decodes[offset]
+            length = 0 if decoded is None else decoded.length
+            if length and offset + length > entry_offset:
+                length = 0
+            lengths.append(length)
         return lengths
 
     def _path_validation(self, lengths: list[int],

@@ -5,6 +5,10 @@ regenerates it on the synthetic substrate:
 
 * :mod:`repro.harness.runner` -- memoised (workload, config) -> stats
   execution, so figures sharing configurations share runs;
+* :mod:`repro.harness.parallel` -- process-pool fan-out for batches of
+  cells (``REPRO_JOBS`` / ``--jobs``), bit-identical to serial runs;
+* :mod:`repro.harness.store` -- persistent, content-addressed SimStats
+  storage under ``.repro_cache/`` (``REPRO_NO_STORE=1`` to disable);
 * :mod:`repro.harness.experiments` -- one function per paper exhibit
   (fig1, fig3, fig6, fig13..fig18, table1, table2, the Section 6.1.4
   BOLT comparison, and the Section 3.2.2 bogus-rate audit);
@@ -13,14 +17,21 @@ regenerates it on the synthetic substrate:
 """
 
 from repro.harness.scale import Scale, current_scale
+from repro.harness.parallel import Cell, ParallelRunner, default_jobs
 from repro.harness.runner import ExperimentRunner
+from repro.harness.store import ResultStore, default_store
 from repro.harness.reporting import format_table, geomean, pct
 from repro.harness import experiments
 
 __all__ = [
     "Scale",
     "current_scale",
+    "Cell",
+    "ParallelRunner",
+    "default_jobs",
     "ExperimentRunner",
+    "ResultStore",
+    "default_store",
     "format_table",
     "geomean",
     "pct",

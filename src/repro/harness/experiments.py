@@ -17,6 +17,7 @@ from dataclasses import replace
 
 from repro.frontend.config import FrontEndConfig, IndexPolicy, SkiaConfig
 from repro.harness.figures import bar_chart, series_chart
+from repro.harness.parallel import Cell
 from repro.harness.reporting import format_table, geomean_speedup, pct
 from repro.harness.runner import ExperimentRunner
 from repro.isa.branch import REPORTED_KINDS
@@ -526,3 +527,86 @@ def ablation_retired_bit(runner: ExperimentRunner,
         ["replacement", "geomean gain"], rows,
         title="Ablation: SBB replacement policy")
     return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
+# Batch planning -- enumerate the cells an exhibit will request
+# ----------------------------------------------------------------------
+
+def exhibit_cells(name: str, workloads=WORKLOAD_NAMES,
+                  btb_sizes=BTB_SWEEP, splits=FIG17_SPLITS,
+                  scales=FIG17_SCALES,
+                  limits=(1, 2, 4, 6, 12, 64)) -> list[Cell]:
+    """The (workload, config, bolted) cells exhibit ``name`` simulates.
+
+    Mirrors the config enumeration inside each ``figN`` function, so a
+    batch run of these cells (``ExperimentRunner.run_cells`` with
+    ``jobs > 1``, or a warm persistent store) turns the exhibit itself
+    into pure memo hits.  Exhibits without simulation cells (the static
+    tables) plan an empty batch.
+    """
+    base = FrontEndConfig()
+    configs: list[FrontEndConfig] = []
+    if name == "fig1":
+        configs = [base.with_btb_entries(entries) for entries in btb_sizes]
+    elif name == "fig3":
+        configs = [base.with_btb_entries(btb_sizes[0]),
+                   base.with_btb_entries(1 << 22, infinite=True)]
+        for entries in btb_sizes:
+            sized = base.with_btb_entries(entries)
+            configs += [sized, sized.with_extra_btb_state(SBB_BUDGET_BYTES),
+                        sized.with_skia(SkiaConfig())]
+    elif name in ("fig6", "fig13", "fig15"):
+        configs = [base]
+    elif name == "fig14":
+        configs = [base, _skia(heads=True, tails=False),
+                   _skia(heads=False, tails=True),
+                   _skia(heads=True, tails=True)]
+    elif name == "fig16":
+        configs = [base, base.with_extra_btb_state(SBB_BUDGET_BYTES),
+                   base.with_skia(SkiaConfig())]
+    elif name == "fig17":
+        configs = [base]
+        configs += [base.with_skia(replace(SkiaConfig(), usbb_entries=usbb,
+                                           rsbb_entries=rsbb))
+                    for usbb, rsbb in splits]
+        configs += [base.with_skia(SkiaConfig().scaled(factor))
+                    for factor in scales]
+    elif name == "fig18":
+        configs = [base, base.with_skia(SkiaConfig())]
+    elif name == "bolt":
+        return [Cell(workload, config, bolted=bolted)
+                for workload, bolted in (("verilator-prebolt", False),
+                                         ("verilator-bolted", True))
+                for config in (base, base.with_skia(SkiaConfig()))]
+    elif name == "bogus":
+        configs = [base.with_skia(SkiaConfig())]
+    elif name == "ablation-index":
+        configs = [base] + [base.with_skia(SkiaConfig(index_policy=policy))
+                            for policy in IndexPolicy]
+    elif name == "ablation-paths":
+        configs = [base] + [base.with_skia(SkiaConfig(max_valid_paths=limit))
+                            for limit in limits]
+    elif name == "ablation-retired":
+        configs = [base] + [base.with_skia(SkiaConfig(use_retired_bit=flag))
+                            for flag in (True, False)]
+    elif name in ("table1", "table2"):
+        return []
+    else:
+        raise KeyError(f"unknown exhibit {name!r}")
+    return [Cell(workload, config)
+            for config in configs for workload in workloads]
+
+
+def prefetch_exhibit(runner: ExperimentRunner, name: str,
+                     jobs: int | None = None, workloads=None,
+                     **kwargs) -> int:
+    """Batch-simulate every cell exhibit ``name`` needs; returns the
+    cell count.  After this, calling the exhibit function on ``runner``
+    performs no simulation."""
+    if workloads is None:
+        workloads = WORKLOAD_NAMES
+    cells = exhibit_cells(name, workloads=workloads, **kwargs)
+    if cells:
+        runner.run_cells(cells, jobs=jobs)
+    return len(cells)

@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.stats import SimStats
+from repro.harness.parallel import Cell, ParallelRunner
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scale import Scale, current_scale
 from repro.workloads.cache import WorkloadCache
@@ -57,14 +58,26 @@ class SeedSweepResult:
 def sweep_seeds(workload: str, metric: Callable[[SimStats, SimStats], float],
                 config_a: FrontEndConfig, config_b: FrontEndConfig,
                 seeds: tuple[int, ...] = (0, 1, 2),
-                scale: Scale | None = None) -> SeedSweepResult:
+                scale: Scale | None = None,
+                jobs: int | None = 1) -> SeedSweepResult:
     """Evaluate ``metric(stats_a, stats_b)`` per seed.
 
     Each seed gets its own program *and* trace (both derive from the
     seed), so the sweep measures workload-generation variance, not just
-    trace noise.
+    trace noise.  Seeds are independent simulations, so ``jobs != 1``
+    fans the 2 x len(seeds) cells out over a process pool with results
+    bit-identical to the serial sweep.
     """
     scale = scale or current_scale()
+    if jobs != 1:
+        parallel = ParallelRunner(scale=scale, jobs=jobs)
+        cells = [Cell(workload, config, seed)
+                 for seed in seeds
+                 for config in (config_a, config_b)]
+        stats = parallel.run_batch(cells)
+        values = [metric(stats[index], stats[index + 1])
+                  for index in range(0, len(stats), 2)]
+        return SeedSweepResult(values=tuple(values), seeds=tuple(seeds))
     values = []
     for seed in seeds:
         runner = ExperimentRunner(scale=scale, seed=seed,

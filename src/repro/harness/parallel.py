@@ -1,0 +1,192 @@
+"""Process-pool experiment execution.
+
+The figure suite sweeps dozens of (workload, config, seed) cells; each
+cell is an independent, deterministic simulation, which makes the grid
+embarrassingly parallel.  :class:`ParallelRunner` deduplicates a batch of
+cells by their canonical identity (the same key the serial runner memos
+on), fans the distinct cells out over a ``ProcessPoolExecutor``, and
+returns ``SimStats`` in input order.
+
+Determinism: a worker runs exactly the code the serial path runs -- same
+program generation, same trace, same simulator seed -- so ``jobs>1``
+results are bit-identical to ``jobs=1``.  Serial execution stays the
+default (``jobs=1`` never spawns a pool).
+
+Worker count comes from ``REPRO_JOBS`` (``0`` or unset means
+``os.cpu_count()`` when parallelism is requested).  Workers share the
+persistent :mod:`~repro.harness.store` when one is configured, so a cell
+simulated by any worker is on disk for every later process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.frontend.config import FrontEndConfig
+from repro.frontend.stats import SimStats
+from repro.harness.scale import Scale, current_scale
+from repro.harness.store import (
+    ResultStore,
+    config_key,
+    default_store,
+    result_key,
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the evaluation grid.
+
+    ``seed=None`` means "the runner's seed": batch APIs resolve it before
+    execution, so planners can stay seed-agnostic.
+    """
+
+    workload: str
+    config: FrontEndConfig
+    seed: int | None = None
+    bolted: bool = False
+
+    def resolved(self, default_seed: int) -> "Cell":
+        if self.seed is not None:
+            return self
+        return Cell(self.workload, self.config, default_seed, self.bolted)
+
+    def identity(self, scale: Scale) -> tuple:
+        """The dedup/memo key; matches ``ExperimentRunner``'s memo key."""
+        return (self.workload, self.bolted, scale.name, self.seed,
+                config_key(self.config))
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS``; 0/unset means all CPUs."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS={raw!r}; expected an integer") from None
+        if jobs > 0:
+            return jobs
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a jobs request: None/0 -> REPRO_JOBS/cpu_count."""
+    if jobs is None or jobs <= 0:
+        return default_jobs()
+    return jobs
+
+
+def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
+                  bolted: bool, scale: Scale,
+                  store_root: str | None = None) -> SimStats:
+    """Run one cell exactly as the serial runner would.
+
+    Module-level so it pickles into pool workers.  Consults/fills the
+    persistent store when ``store_root`` is given; uses the per-process
+    workload cache so cells sharing a (workload, seed) reuse programs and
+    traces within a worker.
+    """
+    from repro.frontend.engine import FrontEndSimulator
+    from repro.workloads.cache import GLOBAL_CACHE
+
+    store = ResultStore(store_root) if store_root else None
+    key = None
+    if store is not None:
+        key = result_key(workload, config, seed, scale, bolted=bolted)
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+    program = GLOBAL_CACHE.program(workload, seed=seed, bolted=bolted)
+    trace = GLOBAL_CACHE.trace(workload, scale.records, seed=seed,
+                               bolted=bolted)
+    stats = FrontEndSimulator(program, config, seed=seed).run(
+        trace, warmup=scale.warmup)
+    if store is not None:
+        store.put(key, stats)
+    return stats
+
+
+def _simulate_packed(packed: tuple) -> SimStats:
+    return simulate_cell(*packed)
+
+
+class ParallelRunner:
+    """Fans a batch of cells out over a process pool.
+
+    ``jobs=1`` runs every cell in-process (no pool, no pickling), which
+    keeps the serial path bit-identical and debuggable; any other value
+    resolves through :func:`resolve_jobs`.
+    """
+
+    def __init__(self, scale: Scale | None = None, jobs: int | None = None,
+                 store: ResultStore | None | str = "default"):
+        self.scale = scale or current_scale()
+        self.jobs = 1 if jobs == 1 else resolve_jobs(jobs)
+        self.store = default_store() if store == "default" else store
+
+    @property
+    def _store_root(self) -> str | None:
+        return None if self.store is None else str(self.store.root)
+
+    def run_batch(self, cells: Sequence[Cell],
+                  default_seed: int = 0) -> list[SimStats]:
+        """Simulate ``cells``; returns stats aligned with the input.
+
+        Duplicate cells (same canonical identity) are simulated once.
+        """
+        resolved = [cell.resolved(default_seed) for cell in cells]
+        unique: dict[tuple, Cell] = {}
+        for cell in resolved:
+            unique.setdefault(cell.identity(self.scale), cell)
+
+        # Group same-workload cells together so static chunks reuse each
+        # worker's program/trace cache, but keep chunks small enough for
+        # load balancing.
+        ordered = sorted(
+            unique.items(),
+            key=lambda item: (item[1].workload, item[1].seed,
+                              item[1].bolted))
+        packed = [(cell.workload, cell.config, cell.seed, cell.bolted,
+                   self.scale, self._store_root)
+                  for _, cell in ordered]
+
+        workers = min(self.jobs, len(packed)) if packed else 0
+        if workers <= 1:
+            stats_list = [_simulate_packed(item) for item in packed]
+        else:
+            chunksize = max(1, len(packed) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                stats_list = list(pool.map(_simulate_packed, packed,
+                                           chunksize=chunksize))
+
+        by_identity = {identity: stats for (identity, _), stats
+                       in zip(ordered, stats_list)}
+        return [by_identity[cell.identity(self.scale)] for cell in resolved]
+
+    def run_grid(self, workloads: Sequence[str],
+                 configs: Sequence[FrontEndConfig],
+                 seeds: Sequence[int] = (0,),
+                 bolted: bool = False) -> dict[tuple, SimStats]:
+        """The full cartesian product, keyed by (workload, seed, index).
+
+        ``index`` is the position of the config in ``configs`` (configs
+        themselves are not hashable dict keys).
+        """
+        cells = [Cell(workload, config, seed, bolted)
+                 for workload in workloads
+                 for index, config in enumerate(configs)
+                 for seed in seeds]
+        stats = self.run_batch(cells)
+        out: dict[tuple, SimStats] = {}
+        position = 0
+        for workload in workloads:
+            for index, _ in enumerate(configs):
+                for seed in seeds:
+                    out[(workload, seed, index)] = stats[position]
+                    position += 1
+        return out

@@ -4,64 +4,128 @@ Different figures reuse the same (workload, configuration) cells -- e.g.
 the 8K-BTB baseline appears in Figures 1, 6, 14, 15, 16 and 18.  The
 runner hashes a canonical key for each cell and runs each distinct cell
 once per process.
+
+Two layers sit under the in-memory memo:
+
+* the **persistent result store** (:mod:`repro.harness.store`): finished
+  ``SimStats`` are kept on disk keyed by content, so a cell simulated in
+  *any* earlier process is an O(file-read) hit.  Disable with
+  ``REPRO_NO_STORE=1`` or ``store=None``.
+* the **process pool** (:mod:`repro.harness.parallel`): the batch APIs
+  (:meth:`ExperimentRunner.run_cells` / :meth:`run_many`) fan distinct
+  cells out over workers when ``jobs != 1``.  ``jobs=1`` (the default)
+  never spawns a pool and stays bit-identical to the historical serial
+  behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from typing import Sequence
 
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import FrontEndSimulator
 from repro.frontend.stats import SimStats
+from repro.harness.parallel import Cell, ParallelRunner
 from repro.harness.scale import Scale, current_scale
+from repro.harness.store import ResultStore, config_key, default_store
 from repro.workloads.cache import GLOBAL_CACHE, WorkloadCache
 
-
-def config_key(config: FrontEndConfig) -> tuple:
-    """A hashable, order-stable identity for a configuration."""
-    def flatten(mapping: dict) -> tuple:
-        items = []
-        for key in sorted(mapping):
-            value = mapping[key]
-            if isinstance(value, dict):
-                value = flatten(value)
-            elif isinstance(value, list):
-                value = tuple(value)
-            items.append((key, value))
-        return tuple(items)
-
-    return flatten(asdict(config))
+__all__ = ["ExperimentRunner", "config_key"]
 
 
 class ExperimentRunner:
-    """Runs (workload, config) cells with memoisation."""
+    """Runs (workload, config) cells with memoisation.
+
+    ``store`` defaults to the environment-selected persistent store
+    (pass ``None`` to keep results purely in-memory).  ``jobs`` sets the
+    default parallelism of the batch APIs; ``run`` itself is always
+    serial.
+    """
 
     def __init__(self, scale: Scale | None = None, seed: int = 0,
-                 cache: WorkloadCache | None = None):
+                 cache: WorkloadCache | None = None,
+                 store: ResultStore | None | str = "default",
+                 jobs: int | None = None):
         self.scale = scale or current_scale()
         self.seed = seed
         self.cache = cache or GLOBAL_CACHE
+        self.store = default_store() if store == "default" else store
+        self.jobs = jobs
         self._results: dict[tuple, SimStats] = {}
+
+    def _memo_key(self, workload: str, config: FrontEndConfig,
+                  bolted: bool, seed: int) -> tuple:
+        return (workload, bolted, self.scale.name, seed, config_key(config))
 
     def run(self, workload: str, config: FrontEndConfig,
             bolted: bool = False) -> SimStats:
-        key = (workload, bolted, self.scale.name, self.seed,
-               config_key(config))
+        key = self._memo_key(workload, config, bolted, self.seed)
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        program = self.cache.program(workload, seed=self.seed, bolted=bolted)
-        trace = self.cache.trace(workload, self.scale.records,
-                                 seed=self.seed, bolted=bolted)
-        simulator = FrontEndSimulator(program, config, seed=self.seed)
-        stats = simulator.run(trace, warmup=self.scale.warmup)
+        stats = self._run_uncached(workload, config, bolted, self.seed)
         self._results[key] = stats
         return stats
 
+    def _run_uncached(self, workload: str, config: FrontEndConfig,
+                      bolted: bool, seed: int) -> SimStats:
+        store_key = None
+        if self.store is not None:
+            store_key = self.store.key(workload, config, seed, self.scale,
+                                       bolted=bolted)
+            stored = self.store.get(store_key)
+            if stored is not None:
+                return stored
+        program = self.cache.program(workload, seed=seed, bolted=bolted)
+        trace = self.cache.trace(workload, self.scale.records,
+                                 seed=seed, bolted=bolted)
+        simulator = FrontEndSimulator(program, config, seed=seed)
+        stats = simulator.run(trace, warmup=self.scale.warmup)
+        if self.store is not None:
+            self.store.put(store_key, stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def run_cells(self, cells: Sequence[Cell],
+                  jobs: int | None = None) -> list[SimStats]:
+        """Simulate a batch of cells, in parallel when ``jobs != 1``.
+
+        Results merge into the in-memory memo, so subsequent ``run``
+        calls for the same cells are hits.  ``jobs`` falls back to the
+        runner's default, then to serial.
+        """
+        jobs = jobs if jobs is not None else (self.jobs or 1)
+        resolved = [cell.resolved(self.seed) for cell in cells]
+        missing = [cell for cell in resolved
+                   if cell.identity(self.scale) not in self._results]
+        if missing:
+            if jobs == 1:
+                for cell in missing:
+                    key = cell.identity(self.scale)
+                    if key not in self._results:
+                        self._results[key] = self._run_uncached(
+                            cell.workload, cell.config, cell.bolted,
+                            cell.seed)
+            else:
+                parallel = ParallelRunner(scale=self.scale, jobs=jobs,
+                                          store=self.store)
+                for cell, stats in zip(missing,
+                                       parallel.run_batch(missing)):
+                    self._results.setdefault(cell.identity(self.scale),
+                                             stats)
+        return [self._results[cell.identity(self.scale)]
+                for cell in resolved]
+
     def run_many(self, workloads: list[str], config: FrontEndConfig,
-                 bolted: bool = False) -> dict[str, SimStats]:
-        return {workload: self.run(workload, config, bolted=bolted)
-                for workload in workloads}
+                 bolted: bool = False,
+                 jobs: int | None = None) -> dict[str, SimStats]:
+        cells = [Cell(workload, config, self.seed, bolted)
+                 for workload in workloads]
+        stats = self.run_cells(cells, jobs=jobs)
+        return dict(zip(workloads, stats))
 
     def clear(self) -> None:
         self._results.clear()

@@ -7,13 +7,15 @@ consults ground-truth layout information, so decoding from a mid-
 instruction offset behaves like real x86: it usually produces a valid but
 different instruction, and sometimes fails on an invalid encoding.
 
-``decode_at`` is the workhorse; :class:`Decoder` adds a small LRU-less
-memo keyed on the byte window, which matters because the Shadow Branch
-Decoder re-decodes every offset of every head region (Index Computation).
+``decode_at`` is the workhorse; :class:`Decoder` adds a small bounded
+LRU memo keyed on (offset, limit), which matters because the Shadow
+Branch Decoder re-decodes every offset of every head region (Index
+Computation).
 """
 
 from __future__ import annotations
 
+from repro.caching import CacheStats, LRUCache
 from repro.isa.branch import BranchKind
 from repro.isa.instruction import DecodedInstruction
 from repro.isa.opcodes import (
@@ -144,20 +146,30 @@ def instruction_length(
     return 0 if decoded is None else decoded.length
 
 
+#: Default bound for the per-Decoder memo.  Long sweeps decode hundreds
+#: of programs through one Decoder; an unbounded dict grew without limit,
+#: while hot (offset, limit) pairs recur within a small working set.
+DEFAULT_MEMO_SIZE = 32_768
+
+_MEMO_MISS = object()
+
+
 class Decoder:
-    """Decoder with a per-instance memo for repeated offset decodes.
+    """Decoder with a bounded per-instance memo for repeated decodes.
 
     The Shadow Branch Decoder calls :meth:`decode` for every byte offset
     of every head region; within one cache line the same (line, offset)
     pair recurs constantly, so memoising on ``(id-free key, offset)`` is a
-    large win.  The memo key includes the raw window bytes, so mutated
-    images cannot serve stale entries.
+    large win.  The memo is an LRU bounded at ``memo_size`` entries so
+    long experiment sweeps cannot grow it without limit; hit/miss/eviction
+    counters feed the component-throughput benchmark.
     """
 
-    def __init__(self, code: bytes | bytearray | memoryview, base_pc: int = 0):
+    def __init__(self, code: bytes | bytearray | memoryview, base_pc: int = 0,
+                 memo_size: int | None = DEFAULT_MEMO_SIZE):
         self._code = bytes(code)
         self._base_pc = base_pc
-        self._memo: dict[tuple[int, int | None], DecodedInstruction | None] = {}
+        self._memo = LRUCache(maxsize=memo_size)
 
     @property
     def code(self) -> bytes:
@@ -167,10 +179,27 @@ class Decoder:
     def base_pc(self) -> int:
         return self._base_pc
 
+    @property
+    def memo_hits(self) -> int:
+        return self._memo.hits
+
+    @property
+    def memo_misses(self) -> int:
+        return self._memo.misses
+
+    @property
+    def memo_evictions(self) -> int:
+        return self._memo.evictions
+
+    @property
+    def memo_stats(self) -> CacheStats:
+        return self._memo.stats
+
     def decode(self, offset: int, limit: int | None = None) -> DecodedInstruction | None:
         key = (offset, limit)
-        if key in self._memo:
-            return self._memo[key]
+        cached = self._memo.get(key, _MEMO_MISS)
+        if cached is not _MEMO_MISS:
+            return cached
         result = decode_at(self._code, offset, pc=self._base_pc + offset, limit=limit)
         self._memo[key] = result
         return result

@@ -11,6 +11,7 @@ Python session, and pickling them would just risk staleness.
 
 from __future__ import annotations
 
+from repro.caching import CacheStats, LRUCache
 from repro.workloads.bolt import bolt_optimize
 from repro.workloads.codegen import ProgramGenerator
 from repro.workloads.profiles import get_profile
@@ -19,12 +20,17 @@ from repro.workloads.trace import BlockRecord, TraceGenerator
 
 
 class WorkloadCache:
-    """Caches programs and materialised traces."""
+    """Caches programs and materialised traces.
+
+    Programs are small and kept unbounded; traces are large, so only the
+    ``max_traces`` most recently *used* survive (genuine LRU: a cache hit
+    refreshes the trace's recency).  Both caches count hits, misses and
+    evictions -- see :meth:`stats`.
+    """
 
     def __init__(self, max_traces: int = 4):
-        self._programs: dict[tuple[str, int, bool], Program] = {}
-        self._traces: dict[tuple[str, int, bool, int, int], list[BlockRecord]] = {}
-        self._trace_order: list[tuple] = []
+        self._programs = LRUCache(maxsize=None)
+        self._traces = LRUCache(maxsize=max_traces)
         self._max_traces = max_traces
 
     def program(self, workload: str, seed: int = 0,
@@ -51,17 +57,16 @@ class WorkloadCache:
                 dispatch_run_range=profile.dispatch_run_range,
             ).records(n_records)
             self._traces[key] = cached
-            self._trace_order.append(key)
-            # Traces are large; keep only the most recent few.
-            while len(self._trace_order) > self._max_traces:
-                evicted = self._trace_order.pop(0)
-                self._traces.pop(evicted, None)
         return cached
+
+    def stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters for the program and trace caches."""
+        return {"programs": self._programs.stats,
+                "traces": self._traces.stats}
 
     def clear(self) -> None:
         self._programs.clear()
         self._traces.clear()
-        self._trace_order.clear()
 
 
 #: Process-wide default cache used by the harness.

@@ -46,3 +46,46 @@ class TestWorkloadCache:
         first = cache.program("noop")
         cache.clear()
         assert cache.program("noop") is not first
+
+
+class TestWorkloadCacheStats:
+    def test_program_hits_and_misses(self):
+        cache = WorkloadCache()
+        cache.program("noop", seed=1)
+        cache.program("noop", seed=1)
+        cache.program("noop", seed=2)
+        stats = cache.stats()["programs"]
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.size == 2
+
+    def test_trace_hits_misses_evictions(self):
+        cache = WorkloadCache(max_traces=2)
+        cache.trace("noop", 1_000)
+        cache.trace("noop", 1_000)  # hit
+        cache.trace("noop", 1_100)
+        cache.trace("noop", 1_200)  # evicts one
+        stats = cache.stats()["traces"]
+        assert stats.hits == 1
+        assert stats.misses == 3
+        assert stats.evictions == 1
+        assert stats.size == 2
+
+    def test_trace_eviction_is_lru_not_fifo(self):
+        """A hit must refresh recency: after touching the oldest trace,
+        inserting a new one evicts the *other* (least recently used)
+        trace, not the oldest-inserted one."""
+        cache = WorkloadCache(max_traces=2)
+        first = cache.trace("noop", 1_000)
+        cache.trace("noop", 1_100)
+        assert cache.trace("noop", 1_000) is first  # touch on hit
+        cache.trace("noop", 1_200)  # must evict the 1_100 trace
+        assert cache.trace("noop", 1_000) is first  # survived eviction
+        assert cache.stats()["traces"].evictions == 1
+
+    def test_clear_preserves_counters(self):
+        cache = WorkloadCache()
+        cache.program("noop")
+        cache.clear()
+        assert cache.stats()["programs"].misses == 1
+        assert cache.stats()["programs"].size == 0
