@@ -49,11 +49,20 @@ class LRUCache:
 
     ``maxsize=None`` disables eviction (counters still work), which lets
     call-sites expose one knob for both bounded and unbounded modes.
+    ``maxsize=0`` is a degenerate but valid cache: every store is
+    immediately evicted and every get misses, with the same counter
+    accounting as any other capacity (so sweeping a cache size down to
+    zero needs no special-casing at call sites).
+
+    Counter invariants, at every capacity and under touch-on-hit
+    re-ordering (property-tested in tests/test_caching.py):
+    ``hits + misses == gets``, ``evictions == new-key stores - size``,
+    and ``size <= maxsize``.
     """
 
     def __init__(self, maxsize: int | None = None):
-        if maxsize is not None and maxsize < 1:
-            raise ValueError("maxsize must be positive or None")
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be non-negative or None")
         self.maxsize = maxsize
         self._data: dict[Hashable, Any] = {}
         self.hits = 0

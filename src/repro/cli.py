@@ -7,6 +7,10 @@ Commands
                   table1, table2, bolt, bogus, ablations).
 ``workloads``  -- list the calibrated workload profiles.
 ``describe``   -- generate a workload and print its static structure.
+``stats``      -- per-component metric snapshots: dump one run
+                  (``stats run``), compare two saved snapshots
+                  (``stats diff``), or run the invariant cross-checks
+                  over the Figure 14 grid (``stats check``).
 """
 
 from __future__ import annotations
@@ -79,7 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper exhibit")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
-    experiment.add_argument("--workloads", nargs="*", default=None,
+    # nargs="+" (not "*"): a bare --workloads used to parse as an empty
+    # list, which the old truthiness guard silently dropped -- the
+    # exhibit then ran the full set, and a filtered-to-nothing list
+    # could reach geomean() as an empty ratio sequence.  Unknown names
+    # are rejected here instead of failing deep inside trace generation.
+    experiment.add_argument("--workloads", nargs="+", default=None,
+                            metavar="NAME", choices=sorted(WORKLOAD_NAMES),
                             help="restrict to these workloads")
     _add_common_options(experiment, suppress=True)
 
@@ -96,6 +106,37 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate EXPERIMENTS.md from saved exhibits")
     report.add_argument("--results", default="benchmarks/bench_results")
     report.add_argument("--output", default="EXPERIMENTS.md")
+
+    stats = sub.add_parser(
+        "stats", help="metric snapshots and invariant cross-checks")
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+
+    stats_run = stats_sub.add_parser(
+        "run", help="simulate one cell and dump per-component counters")
+    stats_run.add_argument("workload", choices=sorted(WORKLOAD_NAMES))
+    stats_run.add_argument("--config", default="skia",
+                           choices=["base", "skia", "head", "tail"],
+                           help="configuration to simulate (default: skia)")
+    stats_run.add_argument("--dump", metavar="PATH", default=None,
+                           help="also save the snapshot as JSON")
+    stats_run.add_argument("--trace-out", metavar="PATH", default=None,
+                           help="write the structured event trace (JSONL)")
+    stats_run.add_argument("--trace-capacity", type=int, default=65_536,
+                           help="event ring-buffer size (default 65536)")
+    _add_common_options(stats_run, suppress=True)
+
+    stats_diff = stats_sub.add_parser(
+        "diff", help="compare two saved metric snapshots")
+    stats_diff.add_argument("before")
+    stats_diff.add_argument("after")
+
+    stats_check = stats_sub.add_parser(
+        "check", help="invariant cross-checks over the Figure 14 grid")
+    stats_check.add_argument("--workloads", nargs="+", default=None,
+                             metavar="NAME",
+                             choices=sorted(WORKLOAD_NAMES),
+                             help="restrict to these workloads")
+    _add_common_options(stats_check, suppress=True)
 
     trace = sub.add_parser("trace", help="dump or inspect binary traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -123,7 +164,7 @@ def _run_experiment(args) -> int:
     runner = ExperimentRunner(scale=scale, store=store)
     function = EXPERIMENTS[args.name]
     kwargs = {}
-    if args.workloads:
+    if args.workloads is not None:
         kwargs["workloads"] = args.workloads
     if args.jobs != 1:
         # Fan the exhibit's whole grid out first; the exhibit function
@@ -157,6 +198,129 @@ def _run_table(args) -> int:
     else:
         print(experiments.table2_benchmarks()["render"])
     return 0
+
+
+def _stats_config(name: str):
+    """The four Figure 14 grid configurations by short name."""
+    from repro.frontend.config import FrontEndConfig, SkiaConfig
+
+    if name == "base":
+        return FrontEndConfig()
+    heads = name in ("skia", "both", "head")
+    tails = name in ("skia", "both", "tail")
+    return FrontEndConfig(skia=SkiaConfig(decode_heads=heads,
+                                          decode_tails=tails))
+
+
+def _print_violations(violations, label: str) -> None:
+    for violation in violations:
+        print(f"INVARIANT VIOLATION [{label}] {violation}")
+
+
+def _run_stats_run(args) -> int:
+    from repro.frontend.engine import FrontEndSimulator
+    from repro.obs import (EventTrace, applicable_invariants, check_snapshot,
+                           render_snapshot, save_snapshot)
+    from repro.workloads.cache import build_trace
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    config = _stats_config(args.config)
+    program = build_program(args.workload)
+    records = build_trace(args.workload, scale.records)
+    simulator = FrontEndSimulator(program, config)
+    trace = None
+    if args.trace_out:
+        trace = EventTrace(capacity=args.trace_capacity)
+        simulator.attach_trace(trace)
+    simulator.run(records, warmup=scale.warmup)
+
+    snapshot = simulator.metrics_snapshot()
+    print(render_snapshot(
+        snapshot,
+        title=f"{args.workload} [{args.config}] @ {scale.name} scale"))
+    if args.dump:
+        save_snapshot(args.dump, snapshot,
+                      meta={"workload": args.workload, "config": args.config,
+                            "scale": scale.name})
+        print(f"\nsnapshot saved to {args.dump}")
+    if trace is not None:
+        trace.to_jsonl(args.trace_out)
+        print(f"trace: {trace.emitted} events emitted, {trace.dropped} "
+              f"dropped -> {args.trace_out}")
+
+    violations = check_snapshot(snapshot)
+    if violations:
+        _print_violations(violations, f"{args.workload}/{args.config}")
+        return 1
+    checked = len(applicable_invariants(snapshot))
+    print(f"\ninvariants: {checked} checked, all passing")
+    return 0
+
+
+def _run_stats_diff(args) -> int:
+    from repro.harness.reporting import format_table
+    from repro.obs import diff_snapshots, load_snapshot
+
+    before, _ = load_snapshot(args.before)
+    after, _ = load_snapshot(args.after)
+    changed = diff_snapshots(before, after)
+    if not changed:
+        print("snapshots are identical")
+        return 0
+    rows = []
+    for key, (a, b) in changed.items():
+        rows.append([key,
+                     "-" if a is None else a,
+                     "-" if b is None else b])
+    print(format_table(["metric", args.before, args.after], rows))
+    return 0
+
+
+def _run_stats_check(args) -> int:
+    from repro.harness.parallel import Cell
+    from repro.obs import check_snapshot
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    store = None if args.no_store else "default"
+    runner = ExperimentRunner(scale=scale, store=store)
+    # Parallel workers hand snapshots back through the store; without
+    # one, run serially so snapshots stay in the in-memory memo.
+    jobs = args.jobs if runner.store is not None else 1
+    workloads = args.workloads or list(WORKLOAD_NAMES)
+    configs = {name: _stats_config(name)
+               for name in ("base", "head", "tail", "skia")}
+
+    cells = [Cell(workload, config)
+             for workload in workloads for config in configs.values()]
+    runner.run_cells(cells, jobs=jobs)
+
+    failures = 0
+    unavailable = 0
+    for workload in workloads:
+        for name, config in configs.items():
+            metrics = runner.metrics_for(workload, config)
+            if metrics is None:
+                print(f"no metric snapshot for {workload}/{name} "
+                      f"(stale store entry? re-run without it)")
+                unavailable += 1
+                continue
+            violations = check_snapshot(metrics)
+            if violations:
+                _print_violations(violations, f"{workload}/{name}")
+                failures += 1
+    checked = len(workloads) * len(configs)
+    print(f"checked {checked} cells ({len(workloads)} workloads x "
+          f"{len(configs)} configs) at {scale.name} scale: "
+          f"{failures} failing, {unavailable} without snapshots")
+    return 1 if failures or unavailable else 0
+
+
+def _run_stats(args) -> int:
+    if args.stats_command == "run":
+        return _run_stats_run(args)
+    if args.stats_command == "diff":
+        return _run_stats_diff(args)
+    return _run_stats_check(args)
 
 
 def _run_trace(args) -> int:
@@ -193,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
         generate(results_dir=args.results, output=args.output)
         print(f"wrote {args.output}")
         return 0
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "trace":
         return _run_trace(args)
     return 2  # pragma: no cover - argparse enforces choices

@@ -53,6 +53,9 @@ class SBBStructure:
         self.insertions = 0
         self.evictions_bogus_first = 0
         self.evictions_lru = 0
+        self.lookups = 0
+        self.hits = 0
+        self.retired_marks = 0
 
     def _index_tag(self, pc: int) -> tuple[int, int]:
         # Same folded indexing as the BTB (see btb.py): spreads
@@ -63,6 +66,7 @@ class SBBStructure:
         return index, tag
 
     def lookup(self, pc: int) -> SBBEntry | None:
+        self.lookups += 1
         if not self.n_sets:
             return None
         index, tag = self._index_tag(pc)
@@ -72,6 +76,7 @@ class SBBStructure:
             return None
         del way[tag]
         way[tag] = entry  # move to MRU
+        self.hits += 1
         return entry
 
     def insert(self, pc: int, payload: int) -> None:
@@ -111,6 +116,7 @@ class SBBStructure:
         if entry is None:
             return False
         entry.retired = True
+        self.retired_marks += 1
         return True
 
     def occupancy(self) -> int:
@@ -123,6 +129,18 @@ class SBBStructure:
     def flush(self) -> None:
         for way in self._sets:
             way.clear()
+
+    def register_metrics(self, scope) -> None:
+        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        scope.gauge("lookups", lambda: self.lookups)
+        scope.gauge("hits", lambda: self.hits)
+        scope.gauge("insertions", lambda: self.insertions)
+        scope.gauge("evictions_bogus_first",
+                    lambda: self.evictions_bogus_first)
+        scope.gauge("evictions_lru", lambda: self.evictions_lru)
+        scope.gauge("retired_marks", lambda: self.retired_marks)
+        scope.gauge("occupancy", self.occupancy)
+        scope.gauge("entries", lambda: self.entries)
 
 
 class ShadowBranchBuffer:
@@ -166,3 +184,8 @@ class ShadowBranchBuffer:
     @property
     def size_kib(self) -> float:
         return self.size_bytes / 1024
+
+    def register_metrics(self, scope) -> None:
+        """Register both halves as ``<scope>.u`` / ``<scope>.r``."""
+        self.usbb.register_metrics(scope.scope("u"))
+        self.rsbb.register_metrics(scope.scope("r"))

@@ -116,6 +116,17 @@ class ShadowBranchDecoder:
             "line_cache": self._line_cache.stats,
         }
 
+    def register_metrics(self, scope) -> None:
+        """Expose the decode-cache counters as gauges (repro.obs)."""
+        for name, cache in (("head_memo", self._head_memo),
+                            ("tail_memo", self._tail_memo),
+                            ("line_cache", self._line_cache)):
+            sub = scope.scope(name)
+            sub.gauge("hits", lambda c=cache: c.hits)
+            sub.gauge("misses", lambda c=cache: c.misses)
+            sub.gauge("evictions", lambda c=cache: c.evictions)
+            sub.gauge("size", lambda c=cache: len(c))
+
     # ------------------------------------------------------------------
     # Per-line decode vector
     # ------------------------------------------------------------------

@@ -42,6 +42,9 @@ class Skia:
                                        line_size=line_size)
         self.sbb = ShadowBranchBuffer(config)
         self.boundary_oracle = boundary_oracle
+        #: Optional repro.obs.EventTrace; attached by the engine.  Costs
+        #: one None check per decode event when disabled.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Fill path (FTQ-entry prefetch completion)
@@ -65,6 +68,11 @@ class Skia:
                 stats.sbd_head_decodes += 1
                 if result.discarded:
                     stats.sbd_head_discarded += 1
+            if self.trace is not None:
+                self.trace.emit("sbd", side="head", pc=entry_pc,
+                                branches=len(result.branches),
+                                discarded=result.discarded,
+                                valid_paths=result.valid_paths)
             self._insert_all(result.branches, stats)
 
         if (self.config.decode_tails and exit_pc is not None
@@ -72,6 +80,10 @@ class Skia:
             result = self.sbd.decode_tail(exit_pc)
             if stats is not None and (exit_pc % self.line_size) != 0:
                 stats.sbd_tail_decodes += 1
+            if self.trace is not None and (exit_pc % self.line_size) != 0:
+                self.trace.emit("sbd", side="tail", pc=exit_pc,
+                                branches=len(result.branches),
+                                discarded=False)
             self._insert_all(result.branches, stats)
 
     def _insert_all(self, branches: list[ShadowBranch],
@@ -102,3 +114,8 @@ class Skia:
                      stats: SimStats | None = None) -> None:
         if self.sbb.mark_retired(pc, which) and stats is not None:
             stats.sbb_retired_marks += 1
+
+    def register_metrics(self, registry) -> None:
+        """Register the SBB halves and the SBD decode caches."""
+        self.sbb.register_metrics(registry.scope("sbb"))
+        self.sbd.register_metrics(registry.scope("sbd"))

@@ -32,6 +32,21 @@ from repro.isa.branch import BranchKind
 from repro.workloads.trace import BlockRecord
 
 
+#: The resteer-cause vocabulary.  Causes partition resteers: every
+#: prediction with ``resteer is not None`` carries exactly one cause, so
+#: per-cause counts sum to ``decode_resteers + exec_resteers`` (the
+#: ``resteer_causes_partition`` invariant).
+RESTEER_CAUSES = (
+    "btb_alias",           # partial-tag alias acted on another branch's entry
+    "btb_stale_target",    # direct-branch entry holds an outdated target
+    "cond_mispredict",     # direction predictor was wrong
+    "ras_mispredict",      # RAS-supplied return target was wrong
+    "indirect_mispredict",  # ITTAGE-supplied indirect target was wrong
+    "sbb_wrong_target",    # SBB hit steered FDIP to the wrong place
+    "undetected_branch",   # no structure knew the branch; decode found it
+)
+
+
 @dataclass
 class Prediction:
     """How the front-end speculated on one branch."""
@@ -41,6 +56,7 @@ class Prediction:
     resteer: str | None       # None | "decode" | "exec"
     used_sbb: bool            # SBB supplied the correct next fetch address
     wrong_path_pc: int | None  # where wrong-path fetch streamed from
+    resteer_cause: str | None = None  # one of RESTEER_CAUSES when resteering
 
 
 class BranchPredictionUnit:
@@ -65,6 +81,8 @@ class BranchPredictionUnit:
         # Optional Section 7.1 baseline (AirBTBLite or BoomerangLite),
         # probed in parallel with the BTB like the SBB.
         self.comparator = comparator
+        #: Optional repro.obs.EventTrace; attached via the engine.
+        self.trace = None
 
     # ------------------------------------------------------------------
 
@@ -90,6 +108,14 @@ class BranchPredictionUnit:
             if comparator_entry is None and self.skia is not None:
                 sbb_result = self.skia.lookup(pc)
 
+        if self.trace is not None:
+            self.trace.emit("btb", pc=pc, hit=btb_hit)
+            if (not btb_hit and comparator_entry is None
+                    and self.skia is not None):
+                self.trace.emit(
+                    "sbb", pc=pc, hit=sbb_result is not None,
+                    which=None if sbb_result is None else sbb_result[0])
+
         if stats is not None:
             stats.btb_lookups += 1
             stats.branches[kind] += 1
@@ -101,6 +127,12 @@ class BranchPredictionUnit:
                     stats.btb_miss_l1i_hit += 1
                 if comparator_entry is not None:
                     stats.comparator_hits += 1
+                elif self.skia is not None:
+                    # The SBB was probed (btb_miss the comparator did not
+                    # claim): btb_miss == comparator_hit + sbb_hit + sbb_miss.
+                    stats.sbb_lookups += 1
+                    if sbb_result is None:
+                        stats.sbb_misses += 1
 
         if btb_hit:
             prediction = self._process_btb_hit(record, entry, stats)
@@ -110,7 +142,8 @@ class BranchPredictionUnit:
             prediction = self._process_btb_hit(record, comparator_entry,
                                                stats)
             prediction = Prediction(False, None, prediction.resteer, False,
-                                    prediction.wrong_path_pc)
+                                    prediction.wrong_path_pc,
+                                    prediction.resteer_cause)
         elif sbb_result is not None:
             prediction = self._process_sbb_hit(record, sbb_result, stats)
         else:
@@ -140,35 +173,40 @@ class BranchPredictionUnit:
             if stats is not None:
                 stats.btb_false_hits += 1
             self._train_side_predictors(record, stats)
-            resteer = "decode" if record.taken else None
-            return Prediction(True, None, resteer, False,
-                              record.fallthrough if record.taken else None)
+            if record.taken:
+                return Prediction(True, None, "decode", False,
+                                  record.fallthrough, "btb_alias")
+            return Prediction(True, None, None, False, None)
 
         if kind is BranchKind.DIRECT_COND:
             predicted_taken = self._predict_cond(pc, record.taken, stats)
             if predicted_taken == record.taken:
                 return Prediction(True, None, None, False, None)
             wrong = record.target if not record.taken else record.fallthrough
-            return Prediction(True, None, "exec", False, wrong)
+            return Prediction(True, None, "exec", False, wrong,
+                              "cond_mispredict")
 
         if kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL):
             if entry.target == record.target:
                 return Prediction(True, None, None, False, None)
             # Stale or aliased target; the decoder recomputes it.
-            return Prediction(True, None, "decode", False, record.fallthrough)
+            return Prediction(True, None, "decode", False, record.fallthrough,
+                              "btb_stale_target")
 
         if kind is BranchKind.RETURN:
             correct = self._predict_return(record, stats)
-            resteer = None if correct else "exec"
-            return Prediction(True, None, resteer, False,
-                              None if correct else record.fallthrough)
+            if correct:
+                return Prediction(True, None, None, False, None)
+            return Prediction(True, None, "exec", False, record.fallthrough,
+                              "ras_mispredict")
 
         # Indirect jump/call: the BTB entry flags the branch; ITTAGE
         # provides the target.
         correct = self._predict_indirect(record, stats)
-        resteer = None if correct else "exec"
-        return Prediction(True, None, resteer, False,
-                          None if correct else record.fallthrough)
+        if correct:
+            return Prediction(True, None, None, False, None)
+        return Prediction(True, None, "exec", False, record.fallthrough,
+                          "indirect_mispredict")
 
     # ------------------------------------------------------------------
     # Case: BTB miss, SBB hit (Skia's contribution)
@@ -193,18 +231,21 @@ class BranchPredictionUnit:
             if stats is not None:
                 stats.sbb_wrong_target += 1
             self._train_side_predictors(record, stats)
-            return Prediction(False, "u", "decode", False, record.fallthrough)
+            return Prediction(False, "u", "decode", False, record.fallthrough,
+                              "sbb_wrong_target")
 
         # R-SBB: claims "a return lives at pc"; the RAS provides the target.
         if kind is BranchKind.RETURN:
             correct = self._predict_return(record, stats)
             if correct:
                 return Prediction(False, "r", None, True, None)
-            return Prediction(False, "r", "exec", False, record.fallthrough)
+            return Prediction(False, "r", "exec", False, record.fallthrough,
+                              "ras_mispredict")
         if stats is not None:
             stats.sbb_wrong_target += 1
         self._train_side_predictors(record, stats)
-        return Prediction(False, "r", "decode", False, record.fallthrough)
+        return Prediction(False, "r", "decode", False, record.fallthrough,
+                          "sbb_wrong_target")
 
     # ------------------------------------------------------------------
     # Case: branch completely unknown to the BPU
@@ -225,27 +266,36 @@ class BranchPredictionUnit:
             if not record.taken:
                 # A predicted-taken decode redirect down the taken path is
                 # itself wrong here; execution brings the flow back.
-                resteer = "exec" if predicted_taken else None
-                wrong = record.target if predicted_taken else None
-                return Prediction(False, None, resteer, False, wrong)
+                if predicted_taken:
+                    return Prediction(False, None, "exec", False,
+                                      record.target, "cond_mispredict")
+                return Prediction(False, None, None, False, None)
             if predicted_taken:
                 return Prediction(False, None, "decode", False,
-                                  record.fallthrough)
-            return Prediction(False, None, "exec", False, record.fallthrough)
+                                  record.fallthrough, "undetected_branch")
+            return Prediction(False, None, "exec", False, record.fallthrough,
+                              "cond_mispredict")
 
         if kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL):
             # Target computable at decode: early resteer.
-            return Prediction(False, None, "decode", False, record.fallthrough)
+            return Prediction(False, None, "decode", False, record.fallthrough,
+                              "undetected_branch")
 
         if kind is BranchKind.RETURN:
             correct = self._predict_return(record, stats)
-            resteer = "decode" if correct else "exec"
-            return Prediction(False, None, resteer, False, record.fallthrough)
+            if correct:
+                return Prediction(False, None, "decode", False,
+                                  record.fallthrough, "undetected_branch")
+            return Prediction(False, None, "exec", False, record.fallthrough,
+                              "ras_mispredict")
 
         # Indirect: discovered at decode; ITTAGE supplies a target there.
         correct = self._predict_indirect(record, stats)
-        resteer = "decode" if correct else "exec"
-        return Prediction(False, None, resteer, False, record.fallthrough)
+        if correct:
+            return Prediction(False, None, "decode", False, record.fallthrough,
+                              "undetected_branch")
+        return Prediction(False, None, "exec", False, record.fallthrough,
+                          "indirect_mispredict")
 
     # ------------------------------------------------------------------
     # Predictor helpers (each trains its structure exactly once)
@@ -283,6 +333,10 @@ class BranchPredictionUnit:
         correct = predicted == record.target
         if stats is not None:
             stats.ras_predictions += 1
+            if predicted is None:
+                # Pop on an empty stack: no target at all, necessarily a
+                # mispredict (the ras_underflows_are_mispredicts invariant).
+                stats.ras_underflows += 1
             if not correct:
                 stats.ras_mispredicts += 1
         return correct

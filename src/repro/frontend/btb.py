@@ -112,3 +112,12 @@ class BranchTargetBuffer:
         for way in self._sets:
             way.clear()
         self._full.clear()
+
+    def register_metrics(self, scope) -> None:
+        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        scope.gauge("lookups", lambda: self.lookups)
+        scope.gauge("hits", lambda: self.hits)
+        scope.gauge("false_hits_detected", lambda: self.false_hits_detected)
+        scope.gauge("occupancy", self.occupancy)
+        scope.gauge("entries", lambda: self.entries)
+        scope.gauge("infinite", lambda: int(self.infinite))

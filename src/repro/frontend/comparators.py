@@ -85,6 +85,12 @@ class AirBTBLite:
         """78 bits per entry, as BTB entries (upper bound)."""
         return self.max_lines * self.entries_per_line * 78 / 8
 
+    def register_metrics(self, scope) -> None:
+        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        scope.gauge("records", lambda: self.records)
+        scope.gauge("hits", lambda: self.hits)
+        scope.gauge("lines", lambda: len(self._lines))
+
 
 class BoomerangLite:
     """BTB prefetch buffer filled by miss-triggered line predecode."""
@@ -142,3 +148,9 @@ class BoomerangLite:
     @property
     def size_bytes(self) -> float:
         return self.buffer_entries * 78 / 8
+
+    def register_metrics(self, scope) -> None:
+        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        scope.gauge("predecodes", lambda: self.predecodes)
+        scope.gauge("hits", lambda: self.hits)
+        scope.gauge("buffered", lambda: len(self._buffer))

@@ -31,6 +31,7 @@ from repro.frontend.bpu import BranchPredictionUnit
 from repro.frontend.caches import CacheHierarchy
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.stats import SimStats
+from repro.obs import EventTrace, MetricsRegistry, snapshot_from_stats
 from repro.workloads.program import Program
 from repro.workloads.trace import BlockRecord
 
@@ -53,6 +54,39 @@ class FrontEndSimulator:
         self.bpu = BranchPredictionUnit(config, skia=self.skia, seed=seed,
                                         comparator=comparator)
         self.stats = SimStats()
+        self.metrics = MetricsRegistry()
+        self.trace: EventTrace | None = None
+        self._records_seen = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Give every hardware structure a scope in the registry."""
+        self.bpu.btb.register_metrics(self.metrics.scope("btb"))
+        self.bpu.ras.register_metrics(self.metrics.scope("ras"))
+        if self.skia is not None:
+            self.skia.register_metrics(self.metrics)
+        if self.bpu.comparator is not None:
+            self.bpu.comparator.register_metrics(
+                self.metrics.scope("comparator"))
+        engine_scope = self.metrics.scope("engine")
+        engine_scope.gauge("records", lambda: self._records_seen)
+        self._resteer_latency = engine_scope.histogram("resteer_latency")
+
+    def attach_trace(self, trace: EventTrace) -> None:
+        """Enable structured event tracing for subsequent ``run`` calls."""
+        self.trace = trace
+        self.bpu.trace = trace
+        if self.skia is not None:
+            self.skia.trace = trace
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """One flat dict: structure gauges + post-warm-up ``sim.*``
+        counters + ``config.*`` gates for the invariant checks."""
+        snapshot = self.metrics.snapshot()
+        snapshot.update(snapshot_from_stats(
+            self.stats, skia_enabled=self.skia is not None,
+            comparator=self.config.comparator))
+        return snapshot
 
     @staticmethod
     def _build_comparator(program: Program, config: FrontEndConfig):
@@ -100,6 +134,10 @@ class FrontEndSimulator:
         backend_width = config.backend_effective_width
         pollution_max = config.pollution_max_lines
 
+        trace = self.trace
+        resteer_latency = self._resteer_latency
+        records_seen = self._records_seen
+
         iag_free = 0.0
         fetch_free = 0.0
         decode_free = 0.0
@@ -126,6 +164,10 @@ class FrontEndSimulator:
                 ftq_inflight.popleft()
             if len(ftq_inflight) >= ftq_size:
                 iag_t = ftq_inflight.popleft()
+
+            records_seen += 1
+            if trace is not None:
+                trace.record_index = index
 
             branch_line_present = hierarchy.line_present(record.branch_pc)
             prediction = bpu.process(record, branch_line_present, stats_arg)
@@ -188,6 +230,9 @@ class FrontEndSimulator:
             if prediction.resteer is None:
                 iag_free = iag_t + 1
             else:
+                # Every resteering prediction carries exactly one cause,
+                # so the per-cause counts partition decode+exec resteers.
+                cause = prediction.resteer_cause or "unattributed"
                 if prediction.resteer == "decode":
                     detect = decode_done
                     if counting:
@@ -197,6 +242,14 @@ class FrontEndSimulator:
                     if counting:
                         stats.exec_resteers += 1
                 restart = detect + repair + btb_extra_latency
+                if counting:
+                    stats.resteer_causes[cause] = (
+                        stats.resteer_causes.get(cause, 0) + 1)
+                    resteer_latency.record(restart - iag_t)
+                if trace is not None:
+                    trace.emit("resteer", pc=record.branch_pc,
+                               stage=prediction.resteer, cause=cause,
+                               latency=restart - iag_t)
                 # Wrong-path prefetches issued between iag_t and restart
                 # pollute the L1-I with sequential lines.
                 if prediction.wrong_path_pc is not None:
@@ -220,6 +273,7 @@ class FrontEndSimulator:
                 counted_blocks += 1
             prev_taken = record.taken
 
+        self._records_seen = records_seen
         stats.instructions = counted_instructions
         stats.blocks = counted_blocks
         stats.cycles = max(retire_free - cycles_at_count_start, 1e-9)

@@ -4,6 +4,17 @@ A fixed-depth circular stack: pushes beyond capacity overwrite the oldest
 entry (the standard hardware behaviour), so deeply nested call chains
 corrupt the bottom of the stack and later returns mispredict -- exactly
 the overflow failure mode real RASes exhibit.
+
+Audited edge cases (locked in by tests/frontend/test_ras.py):
+
+* pop on empty counts an underflow, returns ``None``, and leaves the
+  stack state untouched (no pointer movement, no occupancy change);
+* push on full overwrites the *oldest* entry (the slot ``_top`` points
+  at is, circularly, the oldest when occupancy == depth) and counts an
+  ``overflow_overwrites`` -- occupancy stays at depth;
+* conservation: ``occupancy == pushes - overflow_overwrites -
+  (pops - underflows)`` at all times (the ``ras_structure_accounting``
+  invariant).
 """
 
 from __future__ import annotations
@@ -57,3 +68,12 @@ class ReturnAddressStack:
         self._buffer = [None] * self.depth
         self._top = 0
         self._occupancy = 0
+
+    def register_metrics(self, scope) -> None:
+        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        scope.gauge("pushes", lambda: self.pushes)
+        scope.gauge("pops", lambda: self.pops)
+        scope.gauge("underflows", lambda: self.underflows)
+        scope.gauge("overflow_overwrites", lambda: self.overflow_overwrites)
+        scope.gauge("occupancy", lambda: self._occupancy)
+        scope.gauge("depth", lambda: self.depth)

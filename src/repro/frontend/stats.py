@@ -51,16 +51,21 @@ class SimStats:
     indirect_mispredicts: int = 0
     ras_predictions: int = 0
     ras_mispredicts: int = 0
+    ras_underflows: int = 0
 
     # Resteers.
     decode_resteers: int = 0
     exec_resteers: int = 0
     decoder_idle_cycles: float = 0.0
+    # Per-cause attribution; causes partition decode+exec resteers.
+    resteer_causes: dict[str, int] = field(default_factory=dict)
 
     # Related-work comparators.
     comparator_hits: int = 0
 
     # Skia.
+    sbb_lookups: int = 0
+    sbb_misses: int = 0
     sbd_head_decodes: int = 0
     sbd_tail_decodes: int = 0
     sbd_head_discarded: int = 0

@@ -104,10 +104,12 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
     program = GLOBAL_CACHE.program(workload, seed=seed, bolted=bolted)
     trace = GLOBAL_CACHE.trace(workload, scale.records, seed=seed,
                                bolted=bolted)
-    stats = FrontEndSimulator(program, config, seed=seed).run(
-        trace, warmup=scale.warmup)
+    simulator = FrontEndSimulator(program, config, seed=seed)
+    stats = simulator.run(trace, warmup=scale.warmup)
     if store is not None:
-        store.put(key, stats)
+        # Persist the metric snapshot next to the result so serial and
+        # parallel runs surface identical per-component counters.
+        store.put(key, stats, metrics=simulator.metrics_snapshot())
     return stats
 
 

@@ -11,10 +11,20 @@ from typing import Iterable, Sequence
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values."""
+    """Geometric mean of positive values.
+
+    Empty input raises rather than returning a sentinel: a 0.0 (and the
+    -100% "speedup" it implied downstream) silently corrupted summary
+    tables whenever a caller filtered every workload out.  Non-finite
+    values (NaN/inf) raise for the same reason -- ``NaN <= 0`` is False,
+    so they used to sail through the positivity check and poison the
+    mean.
+    """
     values = list(values)
     if not values:
-        return 0.0
+        raise ValueError("geomean of an empty sequence is undefined")
+    if any(not math.isfinite(value) for value in values):
+        raise ValueError(f"geomean requires finite values, got {values!r}")
     if any(value <= 0 for value in values):
         raise ValueError("geomean requires positive values")
     return math.exp(sum(math.log(value) for value in values) / len(values))
@@ -24,6 +34,7 @@ def geomean_speedup(ratios: Iterable[float]) -> float:
     """Geometric-mean speedup, expressed as a fraction (0.057 = 5.7%).
 
     ``ratios`` are per-workload IPC ratios (skia/base), i.e. 1 + gain.
+    Raises ``ValueError`` on an empty ratio list (see :func:`geomean`).
     """
     return geomean(ratios) - 1.0
 

@@ -52,6 +52,7 @@ class ExperimentRunner:
         self.store = default_store() if store == "default" else store
         self.jobs = jobs
         self._results: dict[tuple, SimStats] = {}
+        self._metrics: dict[tuple, dict[str, float]] = {}
 
     def _memo_key(self, workload: str, config: FrontEndConfig,
                   bolted: bool, seed: int) -> tuple:
@@ -59,31 +60,59 @@ class ExperimentRunner:
 
     def run(self, workload: str, config: FrontEndConfig,
             bolted: bool = False) -> SimStats:
+        return self.run_with_metrics(workload, config, bolted=bolted)[0]
+
+    def run_with_metrics(
+            self, workload: str, config: FrontEndConfig,
+            bolted: bool = False) -> tuple[SimStats, dict[str, float] | None]:
+        """Like :meth:`run`, but also returns the metric snapshot.
+
+        The snapshot is ``None`` only for results loaded from a store
+        entry written before snapshots were persisted.
+        """
         key = self._memo_key(workload, config, bolted, self.seed)
         cached = self._results.get(key)
         if cached is not None:
-            return cached
-        stats = self._run_uncached(workload, config, bolted, self.seed)
+            return cached, self.metrics_for(workload, config, bolted=bolted)
+        stats, metrics = self._run_uncached(workload, config, bolted,
+                                            self.seed)
         self._results[key] = stats
-        return stats
+        if metrics is not None:
+            self._metrics[key] = metrics
+        return stats, metrics
 
-    def _run_uncached(self, workload: str, config: FrontEndConfig,
-                      bolted: bool, seed: int) -> SimStats:
+    def metrics_for(self, workload: str, config: FrontEndConfig,
+                    bolted: bool = False) -> dict[str, float] | None:
+        """The metric snapshot of an already-run cell (memo, then store)."""
+        key = self._memo_key(workload, config, bolted, self.seed)
+        metrics = self._metrics.get(key)
+        if metrics is None and self.store is not None:
+            store_key = self.store.key(workload, config, self.seed,
+                                       self.scale, bolted=bolted)
+            metrics = self.store.get_metrics(store_key)
+            if metrics is not None:
+                self._metrics[key] = metrics
+        return metrics
+
+    def _run_uncached(
+            self, workload: str, config: FrontEndConfig, bolted: bool,
+            seed: int) -> tuple[SimStats, dict[str, float] | None]:
         store_key = None
         if self.store is not None:
             store_key = self.store.key(workload, config, seed, self.scale,
                                        bolted=bolted)
             stored = self.store.get(store_key)
             if stored is not None:
-                return stored
+                return stored, self.store.get_metrics(store_key)
         program = self.cache.program(workload, seed=seed, bolted=bolted)
         trace = self.cache.trace(workload, self.scale.records,
                                  seed=seed, bolted=bolted)
         simulator = FrontEndSimulator(program, config, seed=seed)
         stats = simulator.run(trace, warmup=self.scale.warmup)
+        metrics = simulator.metrics_snapshot()
         if self.store is not None:
-            self.store.put(store_key, stats)
-        return stats
+            self.store.put(store_key, stats, metrics=metrics)
+        return stats, metrics
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -106,9 +135,12 @@ class ExperimentRunner:
                 for cell in missing:
                     key = cell.identity(self.scale)
                     if key not in self._results:
-                        self._results[key] = self._run_uncached(
+                        stats, metrics = self._run_uncached(
                             cell.workload, cell.config, cell.bolted,
                             cell.seed)
+                        self._results[key] = stats
+                        if metrics is not None:
+                            self._metrics[key] = metrics
             else:
                 parallel = ParallelRunner(scale=self.scale, jobs=jobs,
                                           store=self.store)
@@ -129,3 +161,4 @@ class ExperimentRunner:
 
     def clear(self) -> None:
         self._results.clear()
+        self._metrics.clear()

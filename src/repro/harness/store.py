@@ -193,7 +193,26 @@ class ResultStore:
         self.hits += 1
         return stats
 
-    def put(self, key: str, stats: SimStats) -> Path:
+    def get_metrics(self, key: str) -> dict[str, float] | None:
+        """The metric snapshot stored alongside a result, if any.
+
+        Uncounted (piggy-backs on a result already addressed by ``get``);
+        returns ``None`` for entries written before snapshots existed or
+        by callers that had none to persist.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            metrics = payload.get("metrics")
+        except (OSError, ValueError):
+            return None
+        if not isinstance(metrics, dict):
+            return None
+        return metrics
+
+    def put(self, key: str, stats: SimStats,
+            metrics: dict[str, float] | None = None) -> Path:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -201,6 +220,8 @@ class ResultStore:
             "schema": schema_fingerprint(),
             "stats": stats_to_jsonable(stats),
         }
+        if metrics is not None:
+            payload["metrics"] = dict(metrics)
         descriptor, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json")
         try:

@@ -1,0 +1,363 @@
+"""Declared cross-checks over metric snapshots.
+
+Each invariant is a named, documented predicate over the flat snapshot
+dict (see :mod:`repro.obs.registry`).  Counter identities that must hold
+for *any* correct simulation are checked whenever their inputs are
+present; identities that only hold for particular configurations (Skia
+enabled, no comparator) are gated on ``config.*`` flags the snapshot
+carries.
+
+Two kinds of keys appear in a snapshot:
+
+* ``sim.*`` -- the post-warm-up ``SimStats`` counters (always available,
+  including from stored results), via :func:`snapshot_from_stats`;
+* component scopes (``btb.*``, ``ras.*``, ``sbb.u.*``, ``sbb.r.*``,
+  ``sbd.*``, ``engine.*``) -- whole-run structure counters, available
+  when the snapshot was taken from a live simulator.  Because structure
+  counters include the warm-up region and ``sim.*`` does not, cross-layer
+  checks are inequalities (``sim`` never exceeds the structure).
+
+The paper mapping: the SBB probe partition and hit/miss partition settle
+whether the Section 3/4 coverage claims are counted rather than assumed;
+the resteer-cause partition is the Figure 7 accounting; the RAS and SBB
+structure accounting pin the Section 4.2/4.3 replacement semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from numbers import Number
+from typing import Callable, Mapping
+
+Snapshot = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant."""
+
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    name: str
+    description: str
+    check: Callable[[Snapshot], str | None]
+    #: Keys that must be present for the invariant to apply.
+    requires: tuple[str, ...] = ()
+    #: Keys that must be present *and truthy* (configuration gates).
+    flags: tuple[str, ...] = ()
+
+    def applies(self, snapshot: Snapshot) -> bool:
+        if any(key not in snapshot for key in self.requires):
+            return False
+        return all(snapshot.get(key) for key in self.flags)
+
+
+# ----------------------------------------------------------------------
+# Snapshot construction from SimStats
+# ----------------------------------------------------------------------
+
+def snapshot_from_stats(stats, skia_enabled: bool | None = None,
+                        comparator: str | None = None) -> dict[str, float]:
+    """Flatten a ``SimStats`` into ``sim.*`` snapshot entries.
+
+    Works generically over the dataclass fields so new counters join the
+    snapshot (and become checkable) without touching this module.  Dict
+    fields flatten to ``sim.<field>.<key>`` plus a ``sim.<field>_total``
+    sum.  ``skia_enabled``/``comparator`` add ``config.*`` gates for the
+    configuration-dependent invariants.
+    """
+    out: dict[str, float] = {}
+    for field in fields(stats):
+        value = getattr(stats, field.name)
+        if isinstance(value, dict):
+            total = 0
+            for key, count in value.items():
+                name = getattr(key, "value", key)
+                out[f"sim.{field.name}.{name}"] = count
+                total += count
+            out[f"sim.{field.name}_total"] = total
+        elif isinstance(value, Number):
+            out[f"sim.{field.name}"] = value
+    # Totals the invariants reference under their conventional names.
+    out["sim.sbb_hits_total"] = stats.sbb_hits_u + stats.sbb_hits_r
+    out["sim.sbb_insertions_total"] = (stats.sbb_insertions_u
+                                       + stats.sbb_insertions_r)
+    out["sim.resteers_total"] = stats.decode_resteers + stats.exec_resteers
+    if skia_enabled is not None:
+        out["config.skia_enabled"] = float(bool(skia_enabled))
+    if comparator is not None:
+        out["config.comparator_enabled"] = 1.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# The invariants
+# ----------------------------------------------------------------------
+
+def _eq(snapshot: Snapshot, left: str, right: float,
+        describe: str) -> str | None:
+    value = snapshot[left]
+    if value != right:
+        return f"{left}={value} but {describe}={right}"
+    return None
+
+
+def _le(snapshot: Snapshot, small: str, big: str) -> str | None:
+    if snapshot[small] > snapshot[big]:
+        return (f"{small}={snapshot[small]} exceeds "
+                f"{big}={snapshot[big]}")
+    return None
+
+
+def _check_btb_lookups(s: Snapshot) -> str | None:
+    return _eq(s, "sim.btb_lookups", s["sim.branches_total"],
+               "sim.branches_total")
+
+
+def _check_miss_l1i_bounded(s: Snapshot) -> str | None:
+    return _le(s, "sim.btb_miss_l1i_hit", "sim.btb_misses_total")
+
+
+def _check_cache_monotone(s: Snapshot) -> str | None:
+    for small, big in (("sim.l3_misses", "sim.l2_misses"),
+                       ("sim.l2_misses", "sim.l1i_misses"),
+                       ("sim.l1i_misses", "sim.l1i_accesses")):
+        message = _le(s, small, big)
+        if message:
+            return message
+    return None
+
+
+def _check_mispredicts_bounded(s: Snapshot) -> str | None:
+    for name in ("cond", "indirect", "ras"):
+        message = _le(s, f"sim.{name}_mispredicts",
+                      f"sim.{name}_predictions")
+        if message:
+            return message
+    return None
+
+
+def _check_ras_underflows(s: Snapshot) -> str | None:
+    # A pop on an empty RAS can never produce the right target, so every
+    # counted underflow is also a counted mispredict.
+    return _le(s, "sim.ras_underflows", "sim.ras_mispredicts")
+
+
+def _check_resteer_causes(s: Snapshot) -> str | None:
+    attributed = sum(value for key, value in s.items()
+                     if key.startswith("sim.resteer_causes."))
+    total = s["sim.resteers_total"]
+    if attributed != total:
+        return (f"resteer causes sum to {attributed}, but "
+                f"decode+exec resteers = {total}")
+    return None
+
+
+def _check_resteers_bounded(s: Snapshot) -> str | None:
+    return _le(s, "sim.resteers_total", "sim.branches_total")
+
+
+def _check_sbb_probe_partition(s: Snapshot) -> str | None:
+    # The BPU probes the SBB exactly on BTB misses the comparator did
+    # not claim: btb_miss == sbb_lookups + comparator_hits, hence the
+    # headline form btb_miss == sbb_hit + sbb_miss (+ comparator hits).
+    expected = s["sim.btb_misses_total"] - s.get("sim.comparator_hits", 0)
+    return _eq(s, "sim.sbb_lookups", expected,
+               "btb_misses_total - comparator_hits")
+
+
+def _check_sbb_hit_miss_partition(s: Snapshot) -> str | None:
+    observed = (s["sim.sbb_hits_u"] + s["sim.sbb_hits_r"]
+                + s["sim.sbb_misses"])
+    return _eq(s, "sim.sbb_lookups", observed,
+               "sbb_hits_u + sbb_hits_r + sbb_misses")
+
+
+def _check_sbb_outcomes_bounded(s: Snapshot) -> str | None:
+    for small in ("sim.sbb_wrong_target", "sim.sbb_retired_marks"):
+        message = _le(s, small, "sim.sbb_hits_total")
+        if message:
+            return message
+    return None
+
+
+def _check_sbb_bogus_bounded(s: Snapshot) -> str | None:
+    return _le(s, "sim.sbb_bogus_insertions", "sim.sbb_insertions_total")
+
+
+def _check_sbd_discard_bounded(s: Snapshot) -> str | None:
+    return _le(s, "sim.sbd_head_discarded", "sim.sbd_head_decodes")
+
+
+def _check_sbb_structure_accounting(s: Snapshot) -> str | None:
+    # Every eviction and every live entry traces back to an insertion
+    # (re-insertion payload refreshes make this an inequality).
+    for half in ("sbb.u", "sbb.r"):
+        insertions = s[f"{half}.insertions"]
+        accounted = (s[f"{half}.evictions_bogus_first"]
+                     + s[f"{half}.evictions_lru"]
+                     + s[f"{half}.occupancy"])
+        if insertions < accounted:
+            return (f"{half}: insertions={insertions} < evictions + "
+                    f"occupancy = {accounted}")
+        message = _le(s, f"{half}.hits", f"{half}.lookups")
+        if message:
+            return message
+        if s[f"{half}.occupancy"] > s[f"{half}.entries"]:
+            return (f"{half}: occupancy {s[f'{half}.occupancy']} exceeds "
+                    f"capacity {s[f'{half}.entries']}")
+    return None
+
+
+def _check_ras_structure_accounting(s: Snapshot) -> str | None:
+    # Circular-stack conservation: every push either raises occupancy or
+    # overwrites; every successful pop lowers it.
+    expected = (s["ras.pushes"] - s["ras.overflow_overwrites"]
+                - (s["ras.pops"] - s["ras.underflows"]))
+    message = _eq(s, "ras.occupancy", expected,
+                  "pushes - overwrites - successful pops")
+    if message:
+        return message
+    if s["ras.occupancy"] > s["ras.depth"]:
+        return (f"ras occupancy {s['ras.occupancy']} exceeds depth "
+                f"{s['ras.depth']}")
+    return None
+
+
+def _check_btb_structure_bounds(s: Snapshot) -> str | None:
+    message = _le(s, "btb.hits", "btb.lookups")
+    if message:
+        return message
+    if not s.get("btb.infinite") and s["btb.occupancy"] > s["btb.entries"]:
+        return (f"btb occupancy {s['btb.occupancy']} exceeds capacity "
+                f"{s['btb.entries']}")
+    return None
+
+
+def _check_cross_layer_bounds(s: Snapshot) -> str | None:
+    # sim.* counts the post-warm-up region only; structure counters
+    # cover the whole run, so sim can never exceed them.
+    pairs = [("sim.btb_lookups", "btb.lookups")]
+    if "sbb.u.hits" in s:
+        total_hits = s["sbb.u.hits"] + s["sbb.r.hits"]
+        if s["sim.sbb_hits_total"] > total_hits:
+            return (f"sim.sbb_hits_total={s['sim.sbb_hits_total']} exceeds "
+                    f"structure hits {total_hits}")
+    if "ras.underflows" in s:
+        pairs.append(("sim.ras_underflows", "ras.underflows"))
+    for small, big in pairs:
+        message = _le(s, small, big)
+        if message:
+            return message
+    return None
+
+
+_SIM_BASE = ("sim.btb_lookups", "sim.branches_total")
+_SBB_SIM = ("sim.sbb_lookups", "sim.sbb_misses", "sim.sbb_hits_u",
+            "sim.sbb_hits_r")
+
+INVARIANTS: tuple[Invariant, ...] = (
+    Invariant("btb_lookups_cover_branches",
+              "every executed branch probes the BTB exactly once",
+              _check_btb_lookups, requires=_SIM_BASE),
+    Invariant("btb_miss_l1i_hit_bounded",
+              "shadow-resident misses are a subset of all BTB misses",
+              _check_miss_l1i_bounded,
+              requires=("sim.btb_miss_l1i_hit", "sim.btb_misses_total")),
+    Invariant("cache_hierarchy_monotone",
+              "miss counts shrink down the hierarchy",
+              _check_cache_monotone,
+              requires=("sim.l1i_accesses", "sim.l1i_misses",
+                        "sim.l2_misses", "sim.l3_misses")),
+    Invariant("mispredicts_bounded",
+              "mispredictions never exceed predictions per predictor",
+              _check_mispredicts_bounded,
+              requires=("sim.cond_predictions", "sim.cond_mispredicts",
+                        "sim.indirect_predictions",
+                        "sim.indirect_mispredicts",
+                        "sim.ras_predictions", "sim.ras_mispredicts")),
+    Invariant("ras_underflows_are_mispredicts",
+              "a pop on an empty RAS always counts as a mispredict",
+              _check_ras_underflows,
+              requires=("sim.ras_underflows", "sim.ras_mispredicts")),
+    Invariant("resteer_causes_partition",
+              "per-cause resteer attribution sums to total resteers",
+              _check_resteer_causes, requires=("sim.resteers_total",)),
+    Invariant("resteers_bounded",
+              "at most one resteer per executed branch",
+              _check_resteers_bounded,
+              requires=("sim.resteers_total", "sim.branches_total")),
+    Invariant("sbb_probe_partition",
+              "btb_miss == sbb_hit + sbb_miss (+ comparator hits)",
+              _check_sbb_probe_partition,
+              requires=_SBB_SIM + ("sim.btb_misses_total",),
+              flags=("config.skia_enabled",)),
+    Invariant("sbb_hit_miss_partition",
+              "every SBB probe is exactly one hit or one miss",
+              _check_sbb_hit_miss_partition, requires=_SBB_SIM,
+              flags=("config.skia_enabled",)),
+    Invariant("sbb_outcomes_bounded",
+              "wrong-target and retired-mark events are subsets of hits",
+              _check_sbb_outcomes_bounded,
+              requires=("sim.sbb_wrong_target", "sim.sbb_retired_marks",
+                        "sim.sbb_hits_total")),
+    Invariant("sbb_bogus_bounded",
+              "bogus insertions are a subset of all insertions",
+              _check_sbb_bogus_bounded,
+              requires=("sim.sbb_bogus_insertions",
+                        "sim.sbb_insertions_total")),
+    Invariant("sbd_discards_bounded",
+              "discarded head decodes are a subset of head decodes",
+              _check_sbd_discard_bounded,
+              requires=("sim.sbd_head_discarded", "sim.sbd_head_decodes")),
+    Invariant("sbb_structure_accounting",
+              "SBB insertions cover evictions plus live occupancy",
+              _check_sbb_structure_accounting,
+              requires=("sbb.u.insertions", "sbb.u.evictions_bogus_first",
+                        "sbb.u.evictions_lru", "sbb.u.occupancy",
+                        "sbb.u.hits", "sbb.u.lookups", "sbb.u.entries",
+                        "sbb.r.insertions", "sbb.r.evictions_bogus_first",
+                        "sbb.r.evictions_lru", "sbb.r.occupancy",
+                        "sbb.r.hits", "sbb.r.lookups", "sbb.r.entries")),
+    Invariant("ras_structure_accounting",
+              "circular-stack conservation of pushes/pops/overwrites",
+              _check_ras_structure_accounting,
+              requires=("ras.pushes", "ras.pops", "ras.underflows",
+                        "ras.overflow_overwrites", "ras.occupancy",
+                        "ras.depth")),
+    Invariant("btb_structure_bounds",
+              "BTB hits bounded by lookups, occupancy by capacity",
+              _check_btb_structure_bounds,
+              requires=("btb.hits", "btb.lookups", "btb.occupancy",
+                        "btb.entries")),
+    Invariant("cross_layer_bounds",
+              "post-warm-up (sim.*) counters never exceed whole-run "
+              "structure counters",
+              _check_cross_layer_bounds,
+              requires=("sim.btb_lookups", "btb.lookups")),
+)
+
+
+def check_snapshot(snapshot: Snapshot) -> list[Violation]:
+    """Run every applicable invariant; return the violations."""
+    violations = []
+    for invariant in INVARIANTS:
+        if not invariant.applies(snapshot):
+            continue
+        message = invariant.check(snapshot)
+        if message is not None:
+            violations.append(Violation(invariant.name, message))
+    return violations
+
+
+def applicable_invariants(snapshot: Snapshot) -> list[str]:
+    """Names of the invariants this snapshot can be checked against."""
+    return [invariant.name for invariant in INVARIANTS
+            if invariant.applies(snapshot)]

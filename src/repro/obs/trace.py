@@ -1,0 +1,86 @@
+"""Opt-in structured event trace.
+
+A bounded ring buffer of event dicts.  The simulator emits nothing
+unless a trace is attached, so the default (untraced) hot path pays only
+a ``None`` check per potential event site.  When enabled, each event
+records the trace sequence number, the record index of the block being
+processed, an event kind, and kind-specific fields:
+
+========== ==========================================================
+kind       fields
+========== ==========================================================
+``btb``    ``pc``, ``hit``
+``sbb``    ``pc``, ``hit``, ``which`` (``"u"``/``"r"``/``None``)
+``sbd``    ``side`` (``"head"``/``"tail"``), ``pc``, ``branches``,
+           ``discarded``, ``valid_paths`` (head only)
+``resteer````pc``, ``stage`` (``"decode"``/``"exec"``), ``cause``,
+           ``latency`` (cycles between IAG allocation and restart)
+========== ==========================================================
+
+The buffer keeps the most recent ``capacity`` events; ``emitted`` counts
+every emission so ``dropped`` makes truncation explicit in dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterator
+
+
+class EventTrace:
+    """Ring-buffered JSONL event sink."""
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self.emitted = 0
+        #: Record index of the block currently being simulated; the
+        #: engine updates this once per record so per-component emitters
+        #: need not thread it through.
+        self.record_index: int | None = None
+
+    def emit(self, kind: str, **fields) -> None:
+        event = {"seq": self.emitted, "kind": kind}
+        if self.record_index is not None:
+            event["record"] = self.record_index
+        event.update(fields)
+        self._events.append(event)
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._events)
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event["kind"] == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the retained events, one JSON object per line.
+
+        A leading header object records capacity/emitted/dropped so a
+        truncated dump is self-describing.
+        """
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"kind": "trace_header", "capacity": self.capacity,
+                      "emitted": self.emitted, "dropped": self.dropped}
+            handle.write(json.dumps(header) + "\n")
+            for event in self._events:
+                handle.write(json.dumps(event) + "\n")
+        return path

@@ -117,6 +117,72 @@ class TestSBBStructure:
         assert structure.occupancy() == 0
 
 
+class TestCounters:
+    """Regression: the structure used to expose no probe counters, so
+    the eviction fallback could not be cross-checked from snapshots."""
+
+    def make(self):
+        return SBBStructure(16, 4, tag_bits=10, entry_bits=78,
+                            name="test", use_retired_bit=True)
+
+    def test_lookup_counts_hits_and_misses(self):
+        structure = self.make()
+        structure.insert(0x1000, 0x2000)
+        structure.lookup(0x1000)
+        structure.lookup(0x3000)
+        assert structure.lookups == 2
+        assert structure.hits == 1
+
+    def test_disabled_structure_still_counts_lookups(self):
+        structure = SBBStructure(0, 4, 10, 20, name="off")
+        structure.lookup(0x1)
+        assert structure.lookups == 1
+        assert structure.hits == 0
+
+    def test_retired_marks_counted_on_success_only(self):
+        structure = self.make()
+        structure.insert(0x1000, 1)
+        structure.mark_retired(0x1000)
+        structure.mark_retired(0x9999)  # miss: not counted
+        assert structure.retired_marks == 1
+
+    def test_eviction_counters_partition_by_fallback(self):
+        structure = self.make()
+        pcs = same_set_pcs(structure, 6)
+        for pc in pcs[:4]:
+            structure.insert(pc, pc)
+        structure.mark_retired(pcs[0])
+        structure.insert(pcs[4], pcs[4])   # bogus-first eviction
+        for pc in pcs[:4]:
+            structure.mark_retired(pc)
+        structure.mark_retired(pcs[4])
+        structure.insert(pcs[5], pcs[5])   # all retired: LRU fallback
+        assert structure.evictions_bogus_first == 1
+        assert structure.evictions_lru == 1
+
+    def test_insertion_accounting_identity(self):
+        structure = self.make()
+        pcs = same_set_pcs(structure, 8)
+        for pc in pcs:
+            structure.insert(pc, pc)
+        evictions = (structure.evictions_bogus_first
+                     + structure.evictions_lru)
+        assert structure.insertions == evictions + structure.occupancy()
+
+    def test_register_metrics_exposes_live_gauges(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        structure = self.make()
+        structure.register_metrics(registry.scope("sbb.u"))
+        structure.insert(0x1000, 1)
+        structure.lookup(0x1000)
+        snapshot = registry.snapshot()
+        assert snapshot["sbb.u.insertions"] == 1
+        assert snapshot["sbb.u.hits"] == 1
+        assert snapshot["sbb.u.occupancy"] == 1
+        assert snapshot["sbb.u.entries"] == 16
+
+
 class TestShadowBranchBuffer:
     def test_paper_sizes(self):
         sbb = ShadowBranchBuffer(SkiaConfig())

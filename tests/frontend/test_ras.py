@@ -43,6 +43,53 @@ class TestBasics:
         assert ras.pop() is None
 
 
+class TestCounterConservation:
+    """Audited circular-stack semantics (see the module docstring):
+    occupancy == pushes - overflow_overwrites - (pops - underflows)."""
+
+    def identity_holds(self, ras):
+        return len(ras) == (ras.pushes - ras.overflow_overwrites
+                            - (ras.pops - ras.underflows))
+
+    def test_pop_on_empty_leaves_state_untouched(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x10)
+        ras.pop()
+        assert ras.pop() is None
+        assert ras.pop() is None
+        assert ras.underflows == 2
+        ras.push(0x20)  # stack still behaves normally after underflow
+        assert ras.pop() == 0x20
+        assert self.identity_holds(ras)
+
+    def test_identity_under_mixed_sequence(self):
+        import random
+        rng = random.Random(5)
+        ras = ReturnAddressStack(depth=4)
+        for _ in range(500):
+            if rng.random() < 0.55:
+                ras.push(rng.randrange(1 << 20))
+            else:
+                ras.pop()
+            assert self.identity_holds(ras)
+            assert len(ras) <= 4
+
+    def test_register_metrics_exposes_live_gauges(self):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        ras = ReturnAddressStack(depth=4)
+        ras.register_metrics(registry.scope("ras"))
+        ras.push(1)
+        ras.pop()
+        ras.pop()
+        snapshot = registry.snapshot()
+        assert snapshot["ras.pushes"] == 1
+        assert snapshot["ras.pops"] == 2
+        assert snapshot["ras.underflows"] == 1
+        assert snapshot["ras.occupancy"] == 0
+        assert snapshot["ras.depth"] == 4
+
+
 class TestOverflow:
     def test_overflow_overwrites_oldest(self):
         """Pushing past capacity corrupts the bottom, as in hardware."""

@@ -57,3 +57,66 @@ class TestCommands:
     def test_compare_smoke(self, capsys):
         assert main(["--scale", "smoke", "compare", "noop"]) == 0
         assert "speedup" in capsys.readouterr().out
+
+
+class TestStatsParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["stats", "run", "voter"])
+        assert args.config == "skia"
+        assert args.trace_capacity == 65536
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "run", "voter",
+                                       "--config", "bogus"])
+
+    def test_check_validates_workload_names(self):
+        # Regression: --workloads used to accept any string silently.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "check",
+                                       "--workloads", "not-a-workload"])
+
+    def test_experiment_workloads_validated_too(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig14",
+                                       "--workloads", "not-a-workload"])
+
+
+class TestStatsCommands:
+    def test_run_reports_invariants(self, capsys, tmp_path):
+        dump = tmp_path / "snap.json"
+        trace_out = tmp_path / "trace.jsonl"
+        code = main(["--scale", "smoke", "stats", "run", "noop",
+                     "--config", "skia", "--dump", str(dump),
+                     "--trace-out", str(trace_out)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariants:" in out and "all passing" in out
+        assert "[btb]" in out and "[sbb]" in out
+        assert dump.exists() and trace_out.exists()
+
+    def test_diff_two_snapshots(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path, config in ((a, "base"), (b, "skia")):
+            assert main(["--scale", "smoke", "stats", "run", "noop",
+                         "--config", config, "--dump", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out
+
+    def test_diff_identical(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        assert main(["--scale", "smoke", "stats", "run", "noop",
+                     "--dump", str(a)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_check_small_grid(self, capsys):
+        code = main(["--scale", "smoke", "stats", "check",
+                     "--workloads", "noop", "--no-store"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checked 4 cells" in out
+        assert "0 failing" in out

@@ -12,18 +12,37 @@ class TestGeomean:
     def test_single(self):
         assert geomean([3.0]) == pytest.approx(3.0)
 
-    def test_empty(self):
-        assert geomean([]) == 0.0
+    def test_empty_raises(self):
+        # Regression: geomean([]) used to return 0.0, which turned into a
+        # silent -100% "speedup" whenever a caller filtered out every
+        # workload.
+        with pytest.raises(ValueError, match="empty"):
+            geomean([])
 
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
+
+    def test_rejects_nan(self):
+        # Regression: NaN <= 0 is False, so NaN used to pass the
+        # positivity check and silently poison the mean.
+        with pytest.raises(ValueError, match="finite"):
+            geomean([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            geomean([1.0, float("inf")])
 
     def test_speedup(self):
         assert geomean_speedup([1.1, 1.1]) == pytest.approx(0.1)
 
     def test_speedup_identity(self):
         assert geomean_speedup([1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_speedup_empty_raises(self):
+        # Regression: used to silently report -1.0 (a -100% speedup).
+        with pytest.raises(ValueError, match="empty"):
+            geomean_speedup([])
 
 
 class TestPct:

@@ -1,0 +1,120 @@
+"""Tier-1 invariant cross-checks over the Figure 14 quick grid.
+
+Every (workload, config) cell of the paper's headline figure must yield
+a metric snapshot in which all applicable counter identities hold.  The
+grid runs at the quick scale through the default persistent store, so a
+warmed ``.repro_cache/`` makes this an O(file-read) pass; a cold cache
+simulates each cell once and warms it for everyone else.
+
+A second group checks that serial and parallel execution persist
+byte-identical snapshots (the aggregation-correctness criterion), at a
+tiny scale with throwaway stores.
+"""
+
+import json
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.harness.parallel import Cell
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scale import SCALES, Scale
+from repro.harness.store import ResultStore
+from repro.obs import applicable_invariants, check_snapshot
+from repro.workloads.profiles import WORKLOAD_NAMES
+
+
+def _skia(heads: bool, tails: bool) -> FrontEndConfig:
+    return FrontEndConfig(skia=SkiaConfig(decode_heads=heads,
+                                          decode_tails=tails))
+
+
+FIG14_CONFIGS = {
+    "base": FrontEndConfig(),
+    "head": _skia(heads=True, tails=False),
+    "tail": _skia(heads=False, tails=True),
+    "both": _skia(heads=True, tails=True),
+}
+
+
+@pytest.fixture(scope="module")
+def quick_runner():
+    return ExperimentRunner(scale=SCALES["quick"])
+
+
+@pytest.fixture(scope="module")
+def grid_metrics(quick_runner):
+    """Run (or load) the full grid, returning {(workload, config): snapshot}."""
+    cells = [Cell(workload, config)
+             for workload in WORKLOAD_NAMES
+             for config in FIG14_CONFIGS.values()]
+    quick_runner.run_cells(cells, jobs=1)
+    metrics = {}
+    for workload in WORKLOAD_NAMES:
+        for name, config in FIG14_CONFIGS.items():
+            metrics[(workload, name)] = quick_runner.metrics_for(
+                workload, config)
+    return metrics
+
+
+class TestFig14Grid:
+    def test_grid_is_complete(self, grid_metrics):
+        assert len(grid_metrics) == len(WORKLOAD_NAMES) * len(FIG14_CONFIGS)
+        missing = [key for key, snapshot in grid_metrics.items()
+                   if snapshot is None]
+        assert missing == [], f"cells without metric snapshots: {missing}"
+
+    def test_every_cell_passes_every_invariant(self, grid_metrics):
+        failures = []
+        for (workload, name), snapshot in grid_metrics.items():
+            for violation in check_snapshot(snapshot):
+                failures.append(
+                    f"{workload}/{name}: {violation.invariant}: "
+                    f"{violation.message}")
+        assert failures == [], "\n".join(failures)
+
+    def test_skia_cells_exercise_skia_invariants(self, grid_metrics):
+        snapshot = grid_metrics[(WORKLOAD_NAMES[0], "both")]
+        names = applicable_invariants(snapshot)
+        assert "sbb_probe_partition" in names
+        assert "sbb_structure_accounting" in names
+        baseline = grid_metrics[(WORKLOAD_NAMES[0], "base")]
+        assert "sbb_probe_partition" not in applicable_invariants(baseline)
+
+    def test_resteer_causes_nonempty_everywhere(self, grid_metrics):
+        for (workload, name), snapshot in grid_metrics.items():
+            causes = sum(value for key, value in snapshot.items()
+                         if key.startswith("sim.resteer_causes."))
+            assert causes == snapshot["sim.resteers_total"], (
+                f"{workload}/{name}")
+            assert causes > 0, f"{workload}/{name} recorded no resteers"
+
+
+class TestSerialParallelAgreement:
+    """Persisted snapshots must not depend on the execution strategy."""
+
+    SCALE = Scale("sp-test", records=6_000, warmup=2_000)
+    WORKLOADS = ("voter", "kafka")
+
+    def run_grid(self, tmp_path, label, jobs):
+        store = ResultStore(tmp_path / label)
+        runner = ExperimentRunner(scale=self.SCALE, store=store)
+        cells = [Cell(workload, config)
+                 for workload in self.WORKLOADS
+                 for config in FIG14_CONFIGS.values()]
+        runner.run_cells(cells, jobs=jobs)
+        out = {}
+        for workload in self.WORKLOADS:
+            for name, config in FIG14_CONFIGS.items():
+                out[(workload, name)] = runner.metrics_for(workload, config)
+        return out
+
+    def test_serial_and_parallel_snapshots_identical(self, tmp_path):
+        serial = self.run_grid(tmp_path, "serial", jobs=1)
+        parallel = self.run_grid(tmp_path, "parallel", jobs=2)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert serial[key] is not None
+            # Compare through JSON: exactly what the store persists.
+            assert json.dumps(serial[key], sort_keys=True) == (
+                json.dumps(parallel[key], sort_keys=True)), key
