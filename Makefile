@@ -5,7 +5,8 @@ SCALE ?= quick
 # Simulation worker processes for bench targets (0 = all CPUs).
 JOBS ?= 1
 
-.PHONY: install test bench bench-smoke report examples clean clean-cache
+.PHONY: install test bench bench-smoke bench-trajectory trace report \
+	examples clean clean-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +23,19 @@ bench:
 bench-smoke:
 	REPRO_SCALE=smoke REPRO_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Record a benchmark-trajectory point (BENCH_<date>.json at repo root).
+# Compare against the blessed baseline with:
+#   python -m repro bench compare
+bench-trajectory:
+	REPRO_SCALE=$(SCALE) PYTHONPATH=src $(PYTHON) -m repro bench run --jobs $(JOBS)
+
+# Produce a Perfetto-loadable pipeline timeline + event trace for one
+# smoke-scale Skia run (see docs/observability.md).
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro --scale smoke stats run voter \
+		--config skia --trace-out voter-events.jsonl \
+		--timeline-out voter-timeline.json
+
 report:
 	$(PYTHON) -m repro report
 
@@ -34,6 +48,7 @@ examples:
 
 clean:
 	rm -rf .pytest_cache benchmarks/bench_results .repro_cache
+	rm -f BENCH_*.json.tmp
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 # Drop only the persistent result store (force cold re-simulation).

@@ -9,8 +9,13 @@ Commands
 ``describe``   -- generate a workload and print its static structure.
 ``stats``      -- per-component metric snapshots: dump one run
                   (``stats run``), compare two saved snapshots
-                  (``stats diff``), or run the invariant cross-checks
-                  over the Figure 14 grid (``stats check``).
+                  (``stats diff``), run the invariant cross-checks
+                  over the Figure 14 grid (``stats check``), or inspect/
+                  convert a saved event trace (``stats trace``).
+``bench``      -- benchmark trajectory: time the fixed cell grid into a
+                  ``BENCH_<date>.json`` (``bench run``) and diff two
+                  trajectory files with regression gates
+                  (``bench compare``).
 """
 
 from __future__ import annotations
@@ -123,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the structured event trace (JSONL)")
     stats_run.add_argument("--trace-capacity", type=int, default=65_536,
                            help="event ring-buffer size (default 65536)")
+    stats_run.add_argument("--timeline-out", metavar="PATH", default=None,
+                           help="write the pipeline timeline as Chrome "
+                                "trace-event JSON (Perfetto-loadable)")
     _add_common_options(stats_run, suppress=True)
 
     stats_diff = stats_sub.add_parser(
@@ -137,6 +145,47 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=sorted(WORKLOAD_NAMES),
                              help="restrict to these workloads")
     _add_common_options(stats_check, suppress=True)
+
+    stats_trace = stats_sub.add_parser(
+        "trace", help="inspect or convert a saved event trace (JSONL)")
+    stats_trace.add_argument("path", help="JSONL dump from stats run "
+                                          "--trace-out")
+    stats_trace.add_argument("--chrome", metavar="OUT", default=None,
+                             help="convert to Chrome trace-event JSON "
+                                  "instead of summarising")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trajectory: record and regression-gate")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="time the fixed cell grid into BENCH_<date>.json")
+    bench_run.add_argument("--out", metavar="PATH", default=None,
+                           help="output file (default BENCH_<YYYYMMDD>"
+                                ".json in the current directory)")
+    bench_run.add_argument("--workloads", nargs="+", default=None,
+                           metavar="NAME", choices=sorted(WORKLOAD_NAMES),
+                           help="override the default bench workloads")
+    _add_common_options(bench_run, suppress=True)
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two trajectory files; non-zero on "
+                        "regression")
+    bench_compare.add_argument("before", nargs="?", default=None)
+    bench_compare.add_argument("after", nargs="?", default=None)
+    bench_compare.add_argument("--baseline", metavar="PATH",
+                               default=None,
+                               help="baseline when no 'before' is given "
+                                    "(default benchmarks/baseline_smoke"
+                                    ".json)")
+    bench_compare.add_argument("--threshold", type=float, default=None,
+                               metavar="PCT",
+                               help="max tolerated throughput drop "
+                                    "(default 25)")
+    bench_compare.add_argument("--figure-threshold", type=float,
+                               default=None, metavar="PCT",
+                               help="also gate per-figure runtime "
+                                    "growth (off by default)")
 
     trace = sub.add_parser("trace", help="dump or inspect binary traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -219,7 +268,8 @@ def _print_violations(violations, label: str) -> None:
 
 def _run_stats_run(args) -> int:
     from repro.frontend.engine import FrontEndSimulator
-    from repro.obs import (EventTrace, applicable_invariants, check_snapshot,
+    from repro.obs import (EventTrace, TimelineRecorder,
+                           applicable_invariants, check_snapshot,
                            render_snapshot, save_snapshot)
     from repro.workloads.cache import build_trace
 
@@ -232,6 +282,10 @@ def _run_stats_run(args) -> int:
     if args.trace_out:
         trace = EventTrace(capacity=args.trace_capacity)
         simulator.attach_trace(trace)
+    timeline = None
+    if args.timeline_out:
+        timeline = TimelineRecorder()
+        simulator.attach_timeline(timeline)
     simulator.run(records, warmup=scale.warmup)
 
     snapshot = simulator.metrics_snapshot()
@@ -247,6 +301,11 @@ def _run_stats_run(args) -> int:
         trace.to_jsonl(args.trace_out)
         print(f"trace: {trace.emitted} events emitted, {trace.dropped} "
               f"dropped -> {args.trace_out}")
+    if timeline is not None:
+        timeline.to_chrome(args.timeline_out)
+        print(f"timeline: {timeline.emitted} events emitted, "
+              f"{timeline.dropped} dropped -> {args.timeline_out} "
+              f"(load in Perfetto / chrome://tracing)")
 
     violations = check_snapshot(snapshot)
     if violations:
@@ -315,12 +374,96 @@ def _run_stats_check(args) -> int:
     return 1 if failures or unavailable else 0
 
 
+def _run_stats_trace(args) -> int:
+    import json
+
+    from repro.obs import chrome_from_jsonl
+
+    if args.chrome:
+        out = chrome_from_jsonl(args.path, args.chrome)
+        print(f"chrome trace -> {out} (load in Perfetto / "
+              f"chrome://tracing)")
+        return 0
+    header = None
+    counts: dict[str, int] = {}
+    with open(args.path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            kind = event.get("kind", "?")
+            if kind == "trace_header":
+                header = event
+                continue
+            counts[kind] = counts.get(kind, 0) + 1
+    if header is not None:
+        print(f"capacity {header.get('capacity')}, "
+              f"emitted {header.get('emitted')}, "
+              f"dropped {header.get('dropped')}")
+    for kind in sorted(counts):
+        print(f"{kind:10s} {counts[kind]}")
+    return 0
+
+
 def _run_stats(args) -> int:
     if args.stats_command == "run":
         return _run_stats_run(args)
     if args.stats_command == "diff":
         return _run_stats_diff(args)
+    if args.stats_command == "trace":
+        return _run_stats_trace(args)
     return _run_stats_check(args)
+
+
+def _run_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.harness import bench
+
+    if args.bench_command == "run":
+        scale = SCALES[args.scale] if args.scale else current_scale()
+        payload, path = bench.run_bench(scale, workloads=args.workloads,
+                                        jobs=args.jobs, out=args.out)
+        throughput = payload["throughput"]
+        print(f"bench: {payload['cells']} cells @ {scale.name} scale, "
+              f"{throughput['records_per_sec']:.0f} records/sec cold, "
+              f"warm replay {throughput['warm_wall_s']:.2f}s")
+        print(f"trajectory -> {path}")
+        return 0
+
+    # bench compare
+    before_path = args.before
+    after_path = args.after
+    if before_path is not None and after_path is None:
+        # One positional: it is the 'after'; baseline fills 'before'.
+        before_path, after_path = None, before_path
+    if after_path is None:
+        latest = bench.latest_bench_file()
+        if latest is None:
+            print("no BENCH_*.json found; run `repro bench run` first")
+            return 2
+        after_path = latest
+    if before_path is None:
+        before_path = args.baseline or bench.DEFAULT_BASELINE
+        if not Path(before_path).exists():
+            print(f"no baseline at {before_path}; first run -- bless one "
+                  f"by copying {after_path} there")
+            return 0
+    threshold = (args.threshold if args.threshold is not None
+                 else bench.DEFAULT_THRESHOLD_PCT)
+    regressions, lines = bench.compare_bench(
+        bench.load_bench(before_path), bench.load_bench(after_path),
+        threshold_pct=threshold,
+        figure_threshold_pct=args.figure_threshold)
+    print(f"comparing {before_path} -> {after_path}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond thresholds")
+        return 1
+    print("no regressions beyond thresholds")
+    return 0
 
 
 def _run_trace(args) -> int:
@@ -359,6 +502,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "trace":
         return _run_trace(args)
     return 2  # pragma: no cover - argparse enforces choices

@@ -56,6 +56,7 @@ from repro.caching import CacheStats, LRUCache
 from repro.isa.branch import BranchKind
 from repro.isa.decoder import decode_at
 from repro.frontend.config import IndexPolicy, SkiaConfig
+from repro.obs.profiler import PROFILER
 
 #: Default bounds for the per-decoder caches.  16K lines covers a 1MB
 #: image completely; 64K (line, offset) results cover every boundary of
@@ -142,13 +143,15 @@ class ShadowBranchDecoder:
         cached = self._line_cache.get(line)
         if cached is not None:
             return cached
-        image_base = line - self.base_address
-        limit = min(image_base + self.line_size, len(self.image))
-        decodes = [
-            decode_at(self.image, image_base + offset,
-                      pc=line + offset, limit=limit)
-            for offset in range(self.line_size)
-        ]
+        # Profiled on misses only: the hot path (a warm cache) stays free.
+        with PROFILER.section("sbd.line_decode"):
+            image_base = line - self.base_address
+            limit = min(image_base + self.line_size, len(self.image))
+            decodes = [
+                decode_at(self.image, image_base + offset,
+                          pc=line + offset, limit=limit)
+                for offset in range(self.line_size)
+            ]
         self._line_cache[line] = decodes
         return decodes
 
@@ -170,7 +173,8 @@ class ShadowBranchDecoder:
         key = (last_line, exit_pc - last_line)
         memo = self._tail_memo.get(key)
         if memo is None:
-            memo = self._sweep(exit_pc, line_end)
+            with PROFILER.section("sbd.tail_decode"):
+                memo = self._sweep(exit_pc, line_end)
             self._tail_memo[key] = memo
         return memo
 
@@ -210,7 +214,8 @@ class ShadowBranchDecoder:
         key = (line, entry_offset)
         memo = self._head_memo.get(key)
         if memo is None:
-            memo = self._decode_head_region(line, entry_offset)
+            with PROFILER.section("sbd.head_decode"):
+                memo = self._decode_head_region(line, entry_offset)
             self._head_memo[key] = memo
         return memo
 

@@ -45,6 +45,10 @@ class Skia:
         #: Optional repro.obs.EventTrace; attached by the engine.  Costs
         #: one None check per decode event when disabled.
         self.trace = None
+        #: Optional repro.obs.TimelineRecorder; attached by the engine,
+        #: which sets ``timeline.now`` to the entry's prefetch-completion
+        #: cycle before calling :meth:`on_ftq_entry`.
+        self.timeline = None
 
     # ------------------------------------------------------------------
     # Fill path (FTQ-entry prefetch completion)
@@ -73,6 +77,13 @@ class Skia:
                                 branches=len(result.branches),
                                 discarded=result.discarded,
                                 valid_paths=result.valid_paths)
+            if self.timeline is not None:
+                self.timeline.span(
+                    "sbd.head", f"0x{entry_pc:x}", self.timeline.now, 1.0,
+                    branches=len(result.branches),
+                    decoded=len(result.decoded_pcs),
+                    valid_paths=result.valid_paths,
+                    discarded=result.discarded)
             self._insert_all(result.branches, stats)
 
         if (self.config.decode_tails and exit_pc is not None
@@ -84,6 +95,12 @@ class Skia:
                 self.trace.emit("sbd", side="tail", pc=exit_pc,
                                 branches=len(result.branches),
                                 discarded=False)
+            if (self.timeline is not None
+                    and (exit_pc % self.line_size) != 0):
+                self.timeline.span(
+                    "sbd.tail", f"0x{exit_pc:x}", self.timeline.now, 1.0,
+                    branches=len(result.branches),
+                    decoded=len(result.decoded_pcs))
             self._insert_all(result.branches, stats)
 
     def _insert_all(self, branches: list[ShadowBranch],

@@ -129,6 +129,12 @@ class FrontEndConfig:
     backend_effective_width: float = 4.0
     pollution_max_lines: int = 8
 
+    # --- Observability ---------------------------------------------------
+    # When set, the simulator constructs and attaches a
+    # repro.obs.TimelineRecorder at init; the default (False) keeps the
+    # hot path at one None check per record.
+    record_timeline: bool = False
+
     # --- Skia -------------------------------------------------------------
     skia: SkiaConfig = field(default_factory=SkiaConfig.disabled)
 

@@ -31,7 +31,12 @@ from repro.frontend.bpu import BranchPredictionUnit
 from repro.frontend.caches import CacheHierarchy
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.stats import SimStats
-from repro.obs import EventTrace, MetricsRegistry, snapshot_from_stats
+from repro.obs import (
+    EventTrace,
+    MetricsRegistry,
+    TimelineRecorder,
+    snapshot_from_stats,
+)
 from repro.workloads.program import Program
 from repro.workloads.trace import BlockRecord
 
@@ -56,8 +61,11 @@ class FrontEndSimulator:
         self.stats = SimStats()
         self.metrics = MetricsRegistry()
         self.trace: EventTrace | None = None
+        self.timeline: TimelineRecorder | None = None
         self._records_seen = 0
         self._register_metrics()
+        if config.record_timeline:
+            self.attach_timeline(TimelineRecorder())
 
     def _register_metrics(self) -> None:
         """Give every hardware structure a scope in the registry."""
@@ -78,6 +86,12 @@ class FrontEndSimulator:
         self.bpu.trace = trace
         if self.skia is not None:
             self.skia.trace = trace
+
+    def attach_timeline(self, timeline: TimelineRecorder) -> None:
+        """Enable pipeline timeline recording for subsequent ``run`` calls."""
+        self.timeline = timeline
+        if self.skia is not None:
+            self.skia.timeline = timeline
 
     def metrics_snapshot(self) -> dict[str, float]:
         """One flat dict: structure gauges + post-warm-up ``sim.*``
@@ -135,6 +149,7 @@ class FrontEndSimulator:
         pollution_max = config.pollution_max_lines
 
         trace = self.trace
+        timeline = self.timeline
         resteer_latency = self._resteer_latency
         records_seen = self._records_seen
 
@@ -195,6 +210,10 @@ class FrontEndSimulator:
 
             # ----- Skia: shadow-decode this entry's lines --------------
             if skia is not None:
+                if timeline is not None:
+                    # SBD runs when the entry's prefetch completes; give
+                    # its span emitter that timestamp.
+                    timeline.now = lines_ready
                 exit_pc = block_end if record.taken else None
                 skia.on_ftq_entry(
                     entry_pc=record.block_start,
@@ -205,9 +224,11 @@ class FrontEndSimulator:
 
             # ----- Fetch ------------------------------------------------
             fetch_start = max(fetch_free, iag_t + iag_to_fetch)
+            fetch_stall = 0.0
             if lines_ready > fetch_start:
+                fetch_stall = lines_ready - fetch_start
                 if counting:
-                    stats.fetch_stall_cycles += lines_ready - fetch_start
+                    stats.fetch_stall_cycles += fetch_stall
                 fetch_start = lines_ready
             fetch_done = fetch_start + n_lines
             fetch_free = fetch_done
@@ -216,8 +237,9 @@ class FrontEndSimulator:
             # ----- Decode ----------------------------------------------
             input_ready = fetch_done + fetch_to_decode
             decode_start = max(decode_free, input_ready)
+            decode_idle = decode_start - decode_free
             if counting:
-                stats.decoder_idle_cycles += decode_start - decode_free
+                stats.decoder_idle_cycles += decode_idle
             decode_done = decode_start + (
                 (record.n_instr + decode_width - 1) // decode_width)
             decode_free = decode_done
@@ -225,6 +247,26 @@ class FrontEndSimulator:
             # ----- Retire ----------------------------------------------
             retire_start = max(retire_free, decode_done + 1)
             retire_free = retire_start + record.n_instr / backend_width
+
+            # ----- Timeline: one span per stage, instants for BPU events
+            if timeline is not None:
+                name = f"0x{record.block_start:x}"
+                timeline.span("iag", name, iag_t, 1.0, index=index)
+                if not prediction.btb_hit:
+                    timeline.instant("iag", "btb_miss", iag_t,
+                                     pc=record.branch_pc)
+                if prediction.sbb_hit is not None:
+                    timeline.instant(
+                        "iag", f"sbb_hit:{prediction.sbb_hit}", iag_t,
+                        pc=record.branch_pc, used=prediction.used_sbb)
+                timeline.span("fetch", name, fetch_start,
+                              fetch_done - fetch_start, lines=n_lines,
+                              stall=fetch_stall)
+                timeline.span("decode", name, decode_start,
+                              decode_done - decode_start,
+                              instructions=record.n_instr, idle=decode_idle)
+                timeline.span("retire", name, retire_start,
+                              retire_free - retire_start)
 
             # ----- Resteer / next-entry scheduling ---------------------
             if prediction.resteer is None:
@@ -250,6 +292,11 @@ class FrontEndSimulator:
                     trace.emit("resteer", pc=record.branch_pc,
                                stage=prediction.resteer, cause=cause,
                                latency=restart - iag_t)
+                if timeline is not None:
+                    timeline.instant("iag", f"resteer:{cause}", detect,
+                                     stage=prediction.resteer,
+                                     cause=cause, pc=record.branch_pc,
+                                     latency=restart - iag_t)
                 # Wrong-path prefetches issued between iag_t and restart
                 # pollute the L1-I with sequential lines.
                 if prediction.wrong_path_pc is not None:

@@ -1,0 +1,273 @@
+"""Benchmark trajectory: measure, persist, compare.
+
+``repro bench run`` times a fixed grid of simulation cells and writes a
+schema-versioned ``BENCH_<YYYYMMDD>.json`` at the repository root:
+simulation throughput (records and simulated cycles per host second),
+per-figure runtime, decode-cache and result-store hit rates, and the
+host-side profiler sections (:mod:`repro.obs.profiler`).  ``repro bench
+compare`` diffs two such files against configurable thresholds and exits
+non-zero on regression -- CI gates on it, and the checked-in
+``benchmarks/baseline_smoke.json`` is the blessed reference point.
+
+Methodology
+-----------
+The run is two-phase over a *private* temporary result store (the user's
+``.repro_cache`` is never consulted, so numbers always reflect fresh
+simulation):
+
+1. **cold** -- every cell simulates; per-figure wall-clock and the
+   throughput figures come from this phase;
+2. **warm** -- the same grid replays out of the just-filled store; its
+   wall-clock and hit rate characterise the store read path.
+
+Throughput numbers are machine-specific: a baseline blessed on one host
+gates only runs on comparable hosts (see ``docs/performance.md`` for the
+blessing workflow and why the checked-in baseline carries headroom).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.harness.parallel import Cell
+from repro.harness.runner import ExperimentRunner
+from repro.harness.scale import Scale
+from repro.harness.store import ResultStore
+from repro.obs.profiler import PROFILER
+
+#: Bump when the payload shape changes; ``compare`` refuses to diff
+#: files with mismatched schema versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: Workloads of the fixed bench grid: one high-gain OLTP workload, one
+#: mid-gain one, and the no-op control (near-zero front-end pressure).
+DEFAULT_BENCH_WORKLOADS = ("voter", "tatp", "noop")
+
+#: Default throughput regression gate (percent drop in records/sec).
+DEFAULT_THRESHOLD_PCT = 25.0
+
+DEFAULT_BASELINE = Path("benchmarks") / "baseline_smoke.json"
+
+
+def bench_grid(workloads: Sequence[str] | None = None
+               ) -> dict[str, list[Cell]]:
+    """The fixed cell grid, grouped by the figure family it exercises."""
+    workloads = tuple(workloads or DEFAULT_BENCH_WORKLOADS)
+    base = FrontEndConfig()
+    skia = FrontEndConfig(skia=SkiaConfig())
+    head = FrontEndConfig(skia=SkiaConfig(decode_tails=False))
+    tail = FrontEndConfig(skia=SkiaConfig(decode_heads=False))
+    return {
+        "fig14_grid": [Cell(workload, config)
+                       for workload in workloads
+                       for config in (base, skia, head, tail)],
+        "fig3_btb_sweep": [Cell(workloads[0], base.with_btb_entries(n))
+                           for n in (4096, 16384)],
+    }
+
+
+def _hit_rate(hits: float, misses: float) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _decode_cache_rates(runner: ExperimentRunner,
+                        cells: Sequence[Cell]) -> dict[str, float]:
+    """Aggregate SBD cache hit rates over the grid's Skia cells."""
+    sums: dict[str, float] = {}
+    for cell in cells:
+        if not cell.config.skia.enabled:
+            continue
+        metrics = runner.metrics_for(cell.workload, cell.config,
+                                     bolted=cell.bolted)
+        if not metrics:
+            continue
+        for key, value in metrics.items():
+            if key.startswith("sbd."):
+                sums[key] = sums.get(key, 0.0) + value
+    rates = {}
+    for cache in ("head_memo", "tail_memo", "line_cache"):
+        rates[f"sbd_{cache}_hit_rate"] = _hit_rate(
+            sums.get(f"sbd.{cache}.hits", 0.0),
+            sums.get(f"sbd.{cache}.misses", 0.0))
+    return rates
+
+
+def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
+              jobs: int = 1, out: str | os.PathLike | None = None,
+              ) -> tuple[dict, Path]:
+    """Run the bench grid at ``scale``; write and return the payload."""
+    figures = bench_grid(workloads)
+    all_cells = [cell for cells in figures.values() for cell in cells]
+
+    was_enabled = PROFILER.enabled
+    PROFILER.reset()
+    PROFILER.enabled = True
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            # Phase 1: cold — every cell is fresh simulation.
+            cold_runner = ExperimentRunner(scale=scale,
+                                           store=ResultStore(tmp))
+            figure_out: dict[str, dict] = {}
+            total_cycles = 0.0
+            cold_wall = 0.0
+            for name, cells in figures.items():
+                start = time.perf_counter()
+                stats_list = cold_runner.run_cells(cells, jobs=jobs)
+                seconds = time.perf_counter() - start
+                cold_wall += seconds
+                total_cycles += sum(stats.cycles for stats in stats_list)
+                figure_out[name] = {"seconds": round(seconds, 4),
+                                    "cells": len(cells)}
+            cache_rates = _decode_cache_rates(cold_runner, all_cells)
+
+            # Phase 2: warm — the grid replays out of the filled store.
+            warm_store = ResultStore(tmp)
+            warm_runner = ExperimentRunner(scale=scale, store=warm_store)
+            start = time.perf_counter()
+            warm_runner.run_cells(all_cells, jobs=1)
+            warm_wall = time.perf_counter() - start
+    finally:
+        profiler_snapshot = PROFILER.snapshot()
+        PROFILER.enabled = was_enabled
+
+    total_records = scale.records * len(all_cells)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scale": scale.name,
+        "records_per_cell": scale.records,
+        "cells": len(all_cells),
+        "workloads": list(workloads or DEFAULT_BENCH_WORKLOADS),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "jobs": jobs,
+        },
+        "throughput": {
+            "records_per_sec": round(total_records / cold_wall, 2),
+            "cycles_per_sec": round(total_cycles / cold_wall, 2),
+            "cold_wall_s": round(cold_wall, 4),
+            "warm_wall_s": round(warm_wall, 4),
+        },
+        "figures": figure_out,
+        "caches": {
+            **{key: round(value, 6)
+               for key, value in cache_rates.items()},
+            "store_hit_rate": round(
+                _hit_rate(warm_store.hits, warm_store.misses), 6),
+            "store_hits": warm_store.hits,
+            "store_misses": warm_store.misses,
+        },
+        "profiler": profiler_snapshot,
+    }
+
+    if out is None:
+        out = Path(f"BENCH_{time.strftime('%Y%m%d')}.json")
+    path = _write_atomic(Path(out), payload)
+    return payload, path
+
+
+def _write_atomic(path: Path, payload: Mapping) -> Path:
+    """Write via ``<path>.tmp`` + rename (``make clean`` sweeps strays)."""
+    tmp = Path(str(path) + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_bench(path: str | os.PathLike) -> dict:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "schema_version" not in payload:
+        raise ValueError(f"{path}: not a bench trajectory file")
+    return payload
+
+
+def latest_bench_file(root: str | os.PathLike = ".") -> Path | None:
+    """The newest ``BENCH_*.json`` under ``root`` (date-named, so the
+    lexicographic maximum; ties broken by mtime)."""
+    candidates = sorted(Path(root).glob("BENCH_*.json"),
+                        key=lambda p: (p.name, p.stat().st_mtime))
+    return candidates[-1] if candidates else None
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+def compare_bench(before: Mapping, after: Mapping,
+                  threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+                  figure_threshold_pct: float | None = None,
+                  ) -> tuple[list[str], list[str]]:
+    """Diff two bench payloads.
+
+    Returns ``(regressions, report_lines)``.  ``threshold_pct`` gates
+    the cold-run throughput (records/sec); ``figure_threshold_pct``,
+    when given, additionally gates each figure group's wall-clock.
+    Hit-rate and profiler changes are reported but never gate (they are
+    host-load sensitive).
+    """
+    regressions: list[str] = []
+    lines: list[str] = []
+
+    before_schema = before.get("schema_version")
+    after_schema = after.get("schema_version")
+    if before_schema != after_schema:
+        regressions.append(
+            f"schema_version mismatch: {before_schema} vs {after_schema}")
+        return regressions, regressions[:]
+
+    if before.get("scale") != after.get("scale"):
+        lines.append(f"note: comparing different scales "
+                     f"({before.get('scale')} vs {after.get('scale')})")
+
+    b_tp = float(before.get("throughput", {}).get("records_per_sec", 0.0))
+    a_tp = float(after.get("throughput", {}).get("records_per_sec", 0.0))
+    delta_pct = 100.0 * (a_tp - b_tp) / b_tp if b_tp else 0.0
+    line = (f"throughput: {b_tp:.0f} -> {a_tp:.0f} records/sec "
+            f"({delta_pct:+.1f}%)")
+    if b_tp and a_tp < b_tp * (1.0 - threshold_pct / 100.0):
+        regressions.append(
+            f"{line}  REGRESSION (> {threshold_pct:.0f}% drop)")
+        lines.append(regressions[-1])
+    else:
+        lines.append(line)
+
+    b_figures = before.get("figures", {})
+    a_figures = after.get("figures", {})
+    for name in sorted(set(b_figures) | set(a_figures)):
+        if name not in b_figures or name not in a_figures:
+            lines.append(f"figure {name}: only in "
+                         f"{'after' if name in a_figures else 'before'}")
+            continue
+        b_s = float(b_figures[name].get("seconds", 0.0))
+        a_s = float(a_figures[name].get("seconds", 0.0))
+        delta_pct = 100.0 * (a_s - b_s) / b_s if b_s else 0.0
+        line = f"figure {name}: {b_s:.2f}s -> {a_s:.2f}s ({delta_pct:+.1f}%)"
+        if (figure_threshold_pct is not None and b_s
+                and a_s > b_s * (1.0 + figure_threshold_pct / 100.0)):
+            regressions.append(
+                f"{line}  REGRESSION (> {figure_threshold_pct:.0f}% slower)")
+            lines.append(regressions[-1])
+        else:
+            lines.append(line)
+
+    b_caches = before.get("caches", {})
+    a_caches = after.get("caches", {})
+    for key in sorted(set(b_caches) | set(a_caches)):
+        if not key.endswith("_hit_rate"):
+            continue
+        b_v, a_v = b_caches.get(key), a_caches.get(key)
+        if b_v != a_v:
+            lines.append(f"{key}: {b_v} -> {a_v}")
+
+    return regressions, lines

@@ -34,6 +34,7 @@ from repro.harness.store import (
     default_store,
     result_key,
 )
+from repro.obs.profiler import PROFILER
 
 
 @dataclass(frozen=True)
@@ -94,22 +95,26 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
     from repro.frontend.engine import FrontEndSimulator
     from repro.workloads.cache import GLOBAL_CACHE
 
-    store = ResultStore(store_root) if store_root else None
-    key = None
-    if store is not None:
-        key = result_key(workload, config, seed, scale, bolted=bolted)
-        cached = store.get(key)
-        if cached is not None:
-            return cached
-    program = GLOBAL_CACHE.program(workload, seed=seed, bolted=bolted)
-    trace = GLOBAL_CACHE.trace(workload, scale.records, seed=seed,
-                               bolted=bolted)
-    simulator = FrontEndSimulator(program, config, seed=seed)
-    stats = simulator.run(trace, warmup=scale.warmup)
-    if store is not None:
-        # Persist the metric snapshot next to the result so serial and
-        # parallel runs surface identical per-component counters.
-        store.put(key, stats, metrics=simulator.metrics_snapshot())
+    with PROFILER.section("harness.cell"):
+        store = ResultStore(store_root) if store_root else None
+        key = None
+        if store is not None:
+            key = result_key(workload, config, seed, scale, bolted=bolted)
+            cached = store.get(key)
+            if cached is not None:
+                return cached
+        with PROFILER.section("harness.workload"):
+            program = GLOBAL_CACHE.program(workload, seed=seed,
+                                           bolted=bolted)
+            trace = GLOBAL_CACHE.trace(workload, scale.records, seed=seed,
+                                       bolted=bolted)
+        with PROFILER.section("harness.simulate"):
+            simulator = FrontEndSimulator(program, config, seed=seed)
+            stats = simulator.run(trace, warmup=scale.warmup)
+        if store is not None:
+            # Persist the metric snapshot next to the result so serial and
+            # parallel runs surface identical per-component counters.
+            store.put(key, stats, metrics=simulator.metrics_snapshot())
     return stats
 
 
@@ -161,10 +166,13 @@ class ParallelRunner:
         if workers <= 1:
             stats_list = [_simulate_packed(item) for item in packed]
         else:
+            # Workers profile into their own (discarded) PROFILER; this
+            # section times the dispatch + result collection layer.
             chunksize = max(1, len(packed) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                stats_list = list(pool.map(_simulate_packed, packed,
-                                           chunksize=chunksize))
+            with PROFILER.section("harness.parallel_batch"):
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    stats_list = list(pool.map(_simulate_packed, packed,
+                                               chunksize=chunksize))
 
         by_identity = {identity: stats for (identity, _), stats
                        in zip(ordered, stats_list)}

@@ -28,6 +28,7 @@ from repro.frontend.stats import SimStats
 from repro.harness.parallel import Cell, ParallelRunner
 from repro.harness.scale import Scale, current_scale
 from repro.harness.store import ResultStore, config_key, default_store
+from repro.obs.profiler import PROFILER
 from repro.workloads.cache import GLOBAL_CACHE, WorkloadCache
 
 __all__ = ["ExperimentRunner", "config_key"]
@@ -97,21 +98,25 @@ class ExperimentRunner:
     def _run_uncached(
             self, workload: str, config: FrontEndConfig, bolted: bool,
             seed: int) -> tuple[SimStats, dict[str, float] | None]:
-        store_key = None
-        if self.store is not None:
-            store_key = self.store.key(workload, config, seed, self.scale,
-                                       bolted=bolted)
-            stored = self.store.get(store_key)
-            if stored is not None:
-                return stored, self.store.get_metrics(store_key)
-        program = self.cache.program(workload, seed=seed, bolted=bolted)
-        trace = self.cache.trace(workload, self.scale.records,
-                                 seed=seed, bolted=bolted)
-        simulator = FrontEndSimulator(program, config, seed=seed)
-        stats = simulator.run(trace, warmup=self.scale.warmup)
-        metrics = simulator.metrics_snapshot()
-        if self.store is not None:
-            self.store.put(store_key, stats, metrics=metrics)
+        with PROFILER.section("harness.cell"):
+            store_key = None
+            if self.store is not None:
+                store_key = self.store.key(workload, config, seed,
+                                           self.scale, bolted=bolted)
+                stored = self.store.get(store_key)
+                if stored is not None:
+                    return stored, self.store.get_metrics(store_key)
+            with PROFILER.section("harness.workload"):
+                program = self.cache.program(workload, seed=seed,
+                                             bolted=bolted)
+                trace = self.cache.trace(workload, self.scale.records,
+                                         seed=seed, bolted=bolted)
+            with PROFILER.section("harness.simulate"):
+                simulator = FrontEndSimulator(program, config, seed=seed)
+                stats = simulator.run(trace, warmup=self.scale.warmup)
+                metrics = simulator.metrics_snapshot()
+            if self.store is not None:
+                self.store.put(store_key, stats, metrics=metrics)
         return stats, metrics
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro import __version__
 from repro.frontend.stats import SimStats
 from repro.harness.scale import Scale
 from repro.isa.branch import BranchKind
+from repro.obs.profiler import PROFILER
 
 #: Bump to invalidate every stored result regardless of schema shape
 #: (e.g. after a simulator behaviour fix that keeps the counters).
@@ -183,13 +184,14 @@ class ResultStore:
 
     def get(self, key: str) -> SimStats | None:
         path = self._path(key)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
-            stats = stats_from_jsonable(payload["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
+        with PROFILER.section("store.get"):
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                stats = stats_from_jsonable(payload["stats"])
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                return None
         self.hits += 1
         return stats
 
@@ -213,27 +215,28 @@ class ResultStore:
 
     def put(self, key: str, stats: SimStats,
             metrics: dict[str, float] | None = None) -> Path:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "repro": __version__,
-            "schema": schema_fingerprint(),
-            "stats": stats_to_jsonable(stats),
-        }
-        if metrics is not None:
-            payload["metrics"] = dict(metrics)
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with PROFILER.section("store.put"):
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "repro": __version__,
+                "schema": schema_fingerprint(),
+                "stats": stats_to_jsonable(stats),
+            }
+            if metrics is not None:
+                payload["metrics"] = dict(metrics)
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         self.writes += 1
         return path
 

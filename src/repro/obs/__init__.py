@@ -18,6 +18,12 @@ subsystem:
   total resteers, SBB insertions cover evictions + occupancy, ...).
   ``repro stats`` runs them from the CLI; the tier-1 suite runs them
   over the Figure 14 grid.
+* :mod:`repro.obs.timeline` -- an opt-in per-cycle pipeline timeline
+  (IAG/fetch/decode/retire/SBD tracks) exported as Chrome trace-event
+  JSON for Perfetto / ``chrome://tracing``.
+* :mod:`repro.obs.profiler` -- a host-side section profiler
+  (``perf_counter_ns``, nesting, exclusive time) threaded through the
+  harness so ``repro bench`` can report where wall-clock goes.
 
 Nothing here is on the simulation hot path unless enabled: gauges are
 sampled lazily at snapshot time from counters the components already
@@ -43,6 +49,12 @@ from repro.obs.registry import (
     render_snapshot,
     save_snapshot,
 )
+from repro.obs.profiler import PROFILER, SectionProfiler, profile
+from repro.obs.timeline import (
+    TimelineRecorder,
+    chrome_from_jsonl,
+    chrome_from_trace_events,
+)
 from repro.obs.trace import EventTrace
 
 __all__ = [
@@ -50,13 +62,19 @@ __all__ = [
     "Histogram",
     "INVARIANTS",
     "MetricsRegistry",
+    "PROFILER",
     "Scope",
+    "SectionProfiler",
+    "TimelineRecorder",
     "Violation",
     "applicable_invariants",
     "check_snapshot",
+    "chrome_from_jsonl",
+    "chrome_from_trace_events",
     "diff_snapshots",
     "load_snapshot",
     "merge_snapshots",
+    "profile",
     "render_snapshot",
     "save_snapshot",
     "snapshot_from_stats",

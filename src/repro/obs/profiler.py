@@ -1,0 +1,172 @@
+"""Host-side section profiler: where does the wall-clock go?
+
+The simulator's own metrics (:mod:`repro.obs.registry`) count *simulated*
+events; this module times the *host* Python code that produces them --
+the experiment runner, the persistent store, the shadow-decode memo
+misses -- so ``repro bench`` can report where a cell's wall-clock is
+actually spent.
+
+Design constraints mirror the rest of ``repro.obs``:
+
+* **Near-zero cost when disabled.**  ``section(name)`` on a disabled
+  profiler returns a shared no-op context manager; instrumented call
+  sites pay one attribute check and an empty ``with`` block.  Hot-path
+  call sites (the SBD) only open sections on memo *misses*, which are
+  bounded by the number of distinct decode boundaries.
+* **Nesting-aware.**  Sections stack; each section accumulates both
+  *total* (inclusive) and *exclusive* (total minus time spent in child
+  sections) nanoseconds, so ``harness.simulate`` minus ``sbd.*`` is the
+  engine's own share.  Re-entering a section that is already on the
+  stack counts each invocation's elapsed time, so recursive totals can
+  exceed wall-clock; exclusive time stays disjoint.
+* **Process-local.**  The module-level :data:`PROFILER` is what the
+  harness threads through; worker processes of a parallel run keep their
+  own (discarded) instances, so profiles of ``jobs=1`` runs are exact
+  and parallel runs profile the dispatch layer.
+
+Enable globally with ``REPRO_PROFILE=1`` or programmatically via
+``PROFILER.enabled = True``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class SectionStats:
+    """Accumulated timings of one named section."""
+
+    calls: int = 0
+    total_ns: int = 0
+    child_ns: int = 0
+
+    @property
+    def exclusive_ns(self) -> int:
+        return self.total_ns - self.child_ns
+
+    def as_dict(self) -> dict[str, int]:
+        return {"calls": self.calls, "total_ns": self.total_ns,
+                "exclusive_ns": self.exclusive_ns}
+
+
+class _NullSection:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL = _NullSection()
+
+
+class _Timer:
+    """One live section entry; created only when the profiler is on."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "SectionProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._profiler._push(self._name)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._pop()
+
+
+class SectionProfiler:
+    """Nesting context-manager section timer over ``perf_counter_ns``.
+
+    ``clock`` is injectable (a zero-argument callable returning integer
+    nanoseconds) so the exclusive-time arithmetic is testable without
+    sleeping.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 clock: Callable[[], int] = time.perf_counter_ns):
+        self.enabled = enabled
+        self._clock = clock
+        self._sections: dict[str, SectionStats] = {}
+        # Stack frames: [name, start_ns, child_ns_accumulated].
+        self._stack: list[list] = []
+
+    # -- the instrumentation surface ------------------------------------
+
+    def section(self, name: str):
+        """A context manager timing ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL
+        return _Timer(self, name)
+
+    def _push(self, name: str) -> None:
+        self._stack.append([name, self._clock(), 0])
+
+    def _pop(self) -> None:
+        name, start, child_ns = self._stack.pop()
+        elapsed = self._clock() - start
+        stats = self._sections.get(name)
+        if stats is None:
+            stats = self._sections[name] = SectionStats()
+        stats.calls += 1
+        stats.total_ns += elapsed
+        stats.child_ns += child_ns
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> dict[str, SectionStats]:
+        """Accumulated per-section stats (live references)."""
+        return dict(self._sections)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """JSON-safe ``{section: {calls, total_ns, exclusive_ns}}``."""
+        return {name: stats.as_dict()
+                for name, stats in sorted(self._sections.items())}
+
+    def reset(self) -> None:
+        """Drop all accumulated sections (open sections keep running)."""
+        self._sections.clear()
+
+    def render(self, title: str | None = None) -> str:
+        """ASCII table sorted by exclusive time, biggest first."""
+        lines = [title] if title else []
+        ordered = sorted(self._sections.items(),
+                         key=lambda item: -item[1].exclusive_ns)
+        if not ordered:
+            lines.append("(no sections recorded)")
+            return "\n".join(lines)
+        width = max(len(name) for name, _ in ordered)
+        lines.append(f"{'section'.ljust(width)}  {'calls':>8} "
+                     f"{'total_ms':>10} {'excl_ms':>10}")
+        for name, stats in ordered:
+            lines.append(
+                f"{name.ljust(width)}  {stats.calls:>8} "
+                f"{stats.total_ns / 1e6:>10.2f} "
+                f"{stats.exclusive_ns / 1e6:>10.2f}")
+        return "\n".join(lines)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_PROFILE", "").lower() in (
+        "1", "true", "yes", "on")
+
+
+#: The process-wide profiler the harness and hot paths thread through.
+PROFILER = SectionProfiler(enabled=_env_enabled())
+
+
+def profile(name: str):
+    """Shorthand: a section on the module-level :data:`PROFILER`."""
+    return PROFILER.section(name)

@@ -1,0 +1,220 @@
+"""Per-cycle pipeline timeline, exported as Chrome trace-event JSON.
+
+The front-end simulator is timeline-algebraic: each FTQ entry carries
+explicit IAG/fetch/decode/retire clocks.  :class:`TimelineRecorder`
+captures those clocks as *spans* (one track per pipeline stage, one span
+per basic block) plus *instant* events for BTB misses, SBB hits and each
+resteer cause, and serialises everything in the Chrome trace-event
+format -- the JSON dialect ``chrome://tracing`` and Perfetto load
+directly.  One simulated cycle maps to one trace-time microsecond, so
+the decoder-idle gaps of Figure 18 and the FDIP runahead of Figure 2 are
+visible as literal gaps between spans.
+
+Like :class:`repro.obs.trace.EventTrace`, the recorder is a bounded ring
+buffer and is entirely opt-in: the engine pays one ``None`` check per
+record when no recorder is attached (enable per-run with
+``FrontEndConfig(record_timeline=True)`` or
+``simulator.attach_timeline(...)``).
+
+:func:`chrome_from_trace_events` additionally converts an *event trace*
+(the JSONL ring buffer of :mod:`repro.obs.trace`) into the same format,
+using the event sequence number as the time axis -- uniform tooling for
+both kinds of dump (``repro stats trace --chrome``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Track (thread) ids of the pipeline timeline, in display order.
+TRACKS = {
+    "iag": 1,
+    "fetch": 2,
+    "decode": 3,
+    "retire": 4,
+    "sbd.head": 5,
+    "sbd.tail": 6,
+}
+
+#: Process id / name of the pipeline timeline.
+PIPELINE_PID = 1
+PIPELINE_PROCESS = "repro-frontend"
+
+#: Process id / name used when converting an EventTrace JSONL dump.
+EVENT_TRACE_PID = 2
+EVENT_TRACE_PROCESS = "repro-event-trace"
+EVENT_TRACE_TRACKS = {"btb": 1, "sbb": 2, "sbd": 3, "resteer": 4}
+
+
+def _metadata_events(pid: int, process: str,
+                     tracks: dict[str, int]) -> list[dict]:
+    """Chrome ``M`` events naming the process and its tracks."""
+    events = [{"ph": "M", "pid": pid, "name": "process_name",
+               "args": {"name": process}}]
+    for track, tid in tracks.items():
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": track}})
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": tid}})
+    return events
+
+
+class TimelineRecorder:
+    """Ring-buffered pipeline span/instant recorder.
+
+    Events are stored as compact tuples and only expanded to Chrome
+    dicts at export time, so recording stays cheap.  ``now`` is a
+    scratch timestamp the engine sets before handing control to
+    components (the SBD) that emit events but do not own a clock.
+    """
+
+    def __init__(self, capacity: int = 262_144):
+        if capacity < 1:
+            raise ValueError("timeline capacity must be positive")
+        self.capacity = capacity
+        # ("X"|"i", track, name, ts, dur, args-or-None)
+        self._events: deque[tuple] = deque(maxlen=capacity)
+        self.emitted = 0
+        #: Timestamp context for componentized emitters (set by the engine).
+        self.now: float = 0.0
+
+    def span(self, track: str, name: str, start: float, duration: float,
+             **args) -> None:
+        """A complete ("X") event: ``duration`` cycles on ``track``."""
+        self._events.append(("X", track, name, start, duration,
+                             args or None))
+        self.emitted += 1
+
+    def instant(self, track: str, name: str, ts: float, **args) -> None:
+        """A thread-scoped instant ("i") event."""
+        self._events.append(("i", track, name, ts, 0.0, args or None))
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    # -- export ----------------------------------------------------------
+
+    def chrome_events(self) -> list[dict]:
+        """Metadata events plus all retained events, sorted by ``ts``.
+
+        Sorting makes the export monotonic even where the simulator's
+        per-track clocks interleave (the SBD track follows prefetch
+        completion, which is not globally ordered).
+        """
+        out = _metadata_events(PIPELINE_PID, PIPELINE_PROCESS, TRACKS)
+        timed = []
+        for phase, track, name, ts, dur, args in self._events:
+            event = {"ph": phase, "pid": PIPELINE_PID,
+                     "tid": TRACKS.get(track, 99), "name": name,
+                     "ts": round(ts, 3)}
+            if phase == "X":
+                event["dur"] = round(dur, 3)
+            else:
+                event["s"] = "t"
+            if args:
+                event["args"] = dict(args)
+            timed.append(event)
+        timed.sort(key=lambda event: event["ts"])
+        return out + timed
+
+    def to_chrome(self, path: str | Path) -> Path:
+        """Write a self-contained Chrome trace-event JSON file."""
+        path = Path(path)
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "tool": "repro.obs.timeline",
+                "time_unit": "1 trace us == 1 simulated cycle",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        return path
+
+
+# ----------------------------------------------------------------------
+# EventTrace JSONL -> Chrome conversion
+# ----------------------------------------------------------------------
+
+def _event_name(event: dict) -> str:
+    """A stable, low-cardinality display name for one trace event."""
+    kind = event.get("kind")
+    if kind == "btb":
+        return "hit" if event.get("hit") else "miss"
+    if kind == "sbb":
+        return f"hit:{event['which']}" if event.get("hit") else "miss"
+    if kind == "sbd":
+        return str(event.get("side", "sbd"))
+    if kind == "resteer":
+        return str(event.get("cause", "unattributed"))
+    return str(kind)
+
+
+def chrome_from_trace_events(events: Iterable[dict]) -> list[dict]:
+    """Convert EventTrace dicts into Chrome trace events.
+
+    The event trace has no cycle timestamps, so the monotonic ``seq``
+    number becomes the time axis (one event == one trace microsecond);
+    what the view shows is event *ordering* and per-kind density, which
+    is exactly what the ring buffer captures.  ``trace_header`` objects
+    (from :meth:`repro.obs.trace.EventTrace.to_jsonl` dumps) are skipped.
+    """
+    tracks = dict(EVENT_TRACE_TRACKS)
+    out = []
+    timed = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "trace_header":
+            continue
+        tid = tracks.setdefault(kind, len(tracks) + 1)
+        args = {key: value for key, value in event.items()
+                if key not in ("kind", "seq")}
+        chrome = {"ph": "i", "pid": EVENT_TRACE_PID, "tid": tid,
+                  "name": _event_name(event), "s": "t",
+                  "ts": float(event.get("seq", len(timed)))}
+        if args:
+            chrome["args"] = args
+        timed.append(chrome)
+    timed.sort(key=lambda event: event["ts"])
+    out.extend(_metadata_events(EVENT_TRACE_PID, EVENT_TRACE_PROCESS,
+                                tracks))
+    out.extend(timed)
+    return out
+
+
+def chrome_from_jsonl(in_path: str | Path, out_path: str | Path) -> Path:
+    """Convert an EventTrace JSONL dump into a Chrome trace JSON file."""
+    in_path, out_path = Path(in_path), Path(out_path)
+    events = []
+    with open(in_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    payload = {
+        "traceEvents": chrome_from_trace_events(events),
+        "displayTimeUnit": "ms",
+        "metadata": {"tool": "repro.obs.timeline",
+                     "source": str(in_path),
+                     "time_unit": "1 trace us == 1 trace sequence number"},
+    }
+    out_path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return out_path

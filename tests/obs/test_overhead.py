@@ -1,0 +1,75 @@
+"""Instrumentation overhead guard.
+
+Prevents accidental always-on instrumentation: a default-config run must
+attach no trace, timeline or profiler sections (the structural guard),
+and fully-enabled instrumentation must stay within a small factor of the
+untraced run (the cost guard).  If timeline/trace emission ever stops
+being gated behind the ``None`` checks, the structural assertions fail
+immediately; if the gated path grows expensive, the ratio does.
+"""
+
+import time
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.frontend.engine import FrontEndSimulator
+from repro.obs import EventTrace, TimelineRecorder
+from repro.obs.profiler import PROFILER
+
+#: Enabled instrumentation may cost at most this factor over untraced.
+MAX_OVERHEAD_FACTOR = 4.0
+
+
+def _config() -> FrontEndConfig:
+    return FrontEndConfig(skia=SkiaConfig()).with_btb_entries(256)
+
+
+def _timed_run(micro_program, micro_trace, instrumented: bool) -> float:
+    simulator = FrontEndSimulator(micro_program, _config())
+    if instrumented:
+        simulator.attach_trace(EventTrace(capacity=1_000_000))
+        simulator.attach_timeline(TimelineRecorder(capacity=1_000_000))
+    start = time.perf_counter()
+    simulator.run(micro_trace, warmup=2_000)
+    return time.perf_counter() - start
+
+
+class TestStructuralGuard:
+    """Disabled means *nothing attached*, not just nothing emitted."""
+
+    def test_default_run_attaches_no_instrumentation(self, micro_program,
+                                                     micro_trace):
+        simulator = FrontEndSimulator(micro_program, _config())
+        simulator.run(micro_trace[:2_000], warmup=500)
+        assert simulator.trace is None
+        assert simulator.timeline is None
+        assert simulator.bpu.trace is None
+        assert simulator.skia.trace is None
+        assert simulator.skia.timeline is None
+
+    def test_default_run_records_no_profiler_sections(self, micro_program,
+                                                      micro_trace):
+        # The module-level profiler is threaded through the SBD memo
+        # misses; with REPRO_PROFILE unset it must collect nothing.
+        assert PROFILER.enabled is False
+        before = dict(PROFILER.stats())
+        simulator = FrontEndSimulator(micro_program, _config())
+        simulator.run(micro_trace[:2_000], warmup=500)
+        assert PROFILER.stats() == before
+
+    def test_record_timeline_flag_defaults_off(self):
+        assert FrontEndConfig().record_timeline is False
+
+
+class TestCostGuard:
+    def test_instrumented_run_within_small_factor(self, micro_program,
+                                                  micro_trace):
+        # min-of-3 filters scheduler noise; the generous factor keeps
+        # this green on loaded CI machines while still catching an
+        # instrumentation path that stops being O(1)-per-event.
+        untraced = min(_timed_run(micro_program, micro_trace, False)
+                       for _ in range(3))
+        instrumented = min(_timed_run(micro_program, micro_trace, True)
+                           for _ in range(3))
+        assert instrumented <= untraced * MAX_OVERHEAD_FACTOR + 0.05, (
+            f"instrumented run {instrumented:.3f}s vs untraced "
+            f"{untraced:.3f}s exceeds {MAX_OVERHEAD_FACTOR}x")

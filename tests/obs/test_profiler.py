@@ -1,0 +1,131 @@
+"""Section profiler: nesting, exclusive-time math, disabled path."""
+
+import json
+
+from repro.obs.profiler import PROFILER, SectionProfiler, profile
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advanced explicitly by tests."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self) -> int:
+        return self.now
+
+    def advance(self, ns: int) -> None:
+        self.now += ns
+
+
+def make() -> tuple[SectionProfiler, FakeClock]:
+    clock = FakeClock()
+    return SectionProfiler(enabled=True, clock=clock), clock
+
+
+class TestNesting:
+    def test_flat_section(self):
+        profiler, clock = make()
+        with profiler.section("a"):
+            clock.advance(100)
+        stats = profiler.stats()["a"]
+        assert stats.calls == 1
+        assert stats.total_ns == 100
+        assert stats.exclusive_ns == 100
+
+    def test_child_time_is_excluded_from_parent(self):
+        profiler, clock = make()
+        with profiler.section("parent"):
+            clock.advance(10)
+            with profiler.section("child"):
+                clock.advance(70)
+            clock.advance(20)
+        parent = profiler.stats()["parent"]
+        child = profiler.stats()["child"]
+        assert parent.total_ns == 100
+        assert parent.exclusive_ns == 30
+        assert child.total_ns == 70
+        assert child.exclusive_ns == 70
+
+    def test_siblings_both_subtract(self):
+        profiler, clock = make()
+        with profiler.section("p"):
+            with profiler.section("a"):
+                clock.advance(40)
+            with profiler.section("b"):
+                clock.advance(50)
+            clock.advance(10)
+        assert profiler.stats()["p"].exclusive_ns == 10
+
+    def test_exclusive_times_sum_to_wall_clock(self):
+        profiler, clock = make()
+        with profiler.section("outer"):
+            clock.advance(5)
+            for _ in range(3):
+                with profiler.section("inner"):
+                    clock.advance(11)
+        total_exclusive = sum(stats.exclusive_ns
+                              for stats in profiler.stats().values())
+        assert total_exclusive == clock.now
+
+    def test_calls_accumulate(self):
+        profiler, clock = make()
+        for _ in range(5):
+            with profiler.section("s"):
+                clock.advance(1)
+        assert profiler.stats()["s"].calls == 5
+        assert profiler.stats()["s"].total_ns == 5
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        profiler = SectionProfiler(enabled=False)
+        with profiler.section("x"):
+            pass
+        assert profiler.stats() == {}
+
+    def test_disabled_returns_shared_noop(self):
+        profiler = SectionProfiler(enabled=False)
+        assert profiler.section("a") is profiler.section("b")
+
+    def test_module_profiler_disabled_by_default(self):
+        # REPRO_PROFILE is not set in the test environment; the global
+        # instrumentation in the SBD/store/runner must be inert.
+        assert PROFILER.enabled is False
+
+    def test_profile_shorthand_targets_module_profiler(self):
+        assert profile("anything") is PROFILER.section("anything")
+
+
+class TestReporting:
+    def test_snapshot_is_json_safe_and_sorted(self):
+        profiler, clock = make()
+        with profiler.section("b"):
+            clock.advance(2)
+        with profiler.section("a"):
+            clock.advance(1)
+        snapshot = profiler.snapshot()
+        assert list(snapshot) == ["a", "b"]
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["b"] == {"calls": 1, "total_ns": 2,
+                                 "exclusive_ns": 2}
+
+    def test_render_sorted_by_exclusive(self):
+        profiler, clock = make()
+        with profiler.section("small"):
+            clock.advance(10)
+        with profiler.section("big"):
+            clock.advance(1000)
+        text = profiler.render(title="profile")
+        assert text.index("big") < text.index("small")
+        assert "profile" in text and "calls" in text
+
+    def test_render_empty(self):
+        assert "no sections" in SectionProfiler(enabled=True).render()
+
+    def test_reset(self):
+        profiler, clock = make()
+        with profiler.section("x"):
+            clock.advance(1)
+        profiler.reset()
+        assert profiler.stats() == {}
