@@ -12,6 +12,11 @@ Commands
                   (``stats diff``), run the invariant cross-checks
                   over the Figure 14 grid (``stats check``), or inspect/
                   convert a saved event trace (``stats trace``).
+``attrib``     -- per-branch / per-line attribution: record an
+                  attribution artifact for one cell (``attrib run``),
+                  render its offender tables as markdown/HTML
+                  (``attrib report``), and compare two artifacts with
+                  per-branch regression gates (``attrib diff``).
 ``bench``      -- benchmark trajectory: time the fixed cell grid into a
                   ``BENCH_<date>.json`` (``bench run``) and diff two
                   trajectory files with regression gates
@@ -139,11 +144,16 @@ def build_parser() -> argparse.ArgumentParser:
     stats_diff.add_argument("after")
 
     stats_check = stats_sub.add_parser(
-        "check", help="invariant cross-checks over the Figure 14 grid")
+        "check", help="invariant cross-checks over the Figure 14 grid "
+                      "or over saved snapshot files")
     stats_check.add_argument("--workloads", nargs="+", default=None,
                              metavar="NAME",
                              choices=sorted(WORKLOAD_NAMES),
                              help="restrict to these workloads")
+    stats_check.add_argument("--snapshot", nargs="+", default=None,
+                             metavar="PATH",
+                             help="check these saved snapshot files "
+                                  "instead of simulating the grid")
     _add_common_options(stats_check, suppress=True)
 
     stats_trace = stats_sub.add_parser(
@@ -153,6 +163,62 @@ def build_parser() -> argparse.ArgumentParser:
     stats_trace.add_argument("--chrome", metavar="OUT", default=None,
                              help="convert to Chrome trace-event JSON "
                                   "instead of summarising")
+
+    attrib = sub.add_parser(
+        "attrib", help="per-branch / per-line attribution: who causes "
+                       "the misses, who gets rescued")
+    attrib_sub = attrib.add_subparsers(dest="attrib_command", required=True)
+
+    attrib_run = attrib_sub.add_parser(
+        "run", help="simulate one cell with attribution recording; "
+                    "exits non-zero on any conservation violation")
+    attrib_run.add_argument("workload", choices=sorted(WORKLOAD_NAMES))
+    attrib_run.add_argument("--config", default="skia",
+                            choices=["base", "skia", "head", "tail"],
+                            help="configuration to simulate "
+                                 "(default: skia)")
+    attrib_run.add_argument("--out", metavar="PATH", default=None,
+                            help="save the attribution artifact as JSON "
+                                 "(input to attrib report / diff)")
+    attrib_run.add_argument("--report", metavar="PATH", default=None,
+                            help="also render the report (markdown, or "
+                                 "HTML for a .html/.htm suffix)")
+    attrib_run.add_argument("--snapshot-out", metavar="PATH", default=None,
+                            help="save the metric snapshot merged with "
+                                 "the attrib.* rollup keys (checkable "
+                                 "via stats check --snapshot)")
+    attrib_run.add_argument("--top", type=int, default=20, metavar="N",
+                            help="offender-table depth (default 20)")
+    _add_common_options(attrib_run, suppress=True)
+
+    attrib_report = attrib_sub.add_parser(
+        "report", help="render a saved attribution artifact")
+    attrib_report.add_argument("artifact", help="JSON from attrib run "
+                                                "--out")
+    attrib_report.add_argument("--format", default=None,
+                               choices=["markdown", "md", "html"],
+                               help="output format (default: by --out "
+                                    "suffix, else markdown)")
+    attrib_report.add_argument("--out", metavar="PATH", default=None,
+                               help="write to a file instead of stdout")
+    attrib_report.add_argument("--top", type=int, default=20, metavar="N",
+                               help="offender-table depth (default 20)")
+
+    attrib_diff = attrib_sub.add_parser(
+        "diff", help="per-branch comparison of two artifacts; exits "
+                     "non-zero when any branch regresses past thresholds")
+    attrib_diff.add_argument("before", help="baseline artifact JSON")
+    attrib_diff.add_argument("after", help="candidate artifact JSON")
+    attrib_diff.add_argument("--min-cycles", type=float, default=None,
+                             metavar="CYCLES",
+                             help="absolute resteer-cycle growth gate "
+                                  "(default 100)")
+    attrib_diff.add_argument("--min-pct", type=float, default=None,
+                             metavar="PCT",
+                             help="relative growth gate, percent of the "
+                                  "before-value (default 10)")
+    attrib_diff.add_argument("--top", type=int, default=20, metavar="N",
+                             help="rows to print (default 20)")
 
     bench = sub.add_parser(
         "bench", help="benchmark trajectory: record and regression-gate")
@@ -335,9 +401,30 @@ def _run_stats_diff(args) -> int:
     return 0
 
 
+def _check_snapshot_files(paths) -> int:
+    """``stats check --snapshot``: check saved snapshot files."""
+    from repro.obs import applicable_invariants, check_snapshot, load_snapshot
+
+    failures = 0
+    for path in paths:
+        snapshot, meta = load_snapshot(path)
+        label = meta.get("workload", path) if meta else path
+        violations = check_snapshot(snapshot)
+        if violations:
+            _print_violations(violations, str(label))
+            failures += 1
+        else:
+            checked = len(applicable_invariants(snapshot))
+            print(f"{path}: {checked} invariants checked, all passing")
+    return 1 if failures else 0
+
+
 def _run_stats_check(args) -> int:
     from repro.harness.parallel import Cell
     from repro.obs import check_snapshot
+
+    if args.snapshot:
+        return _check_snapshot_files(args.snapshot)
 
     scale = SCALES[args.scale] if args.scale else current_scale()
     store = None if args.no_store else "default"
@@ -414,6 +501,111 @@ def _run_stats(args) -> int:
     if args.stats_command == "trace":
         return _run_stats_trace(args)
     return _run_stats_check(args)
+
+
+def _attrib_report_format(explicit: str | None, out: str | None) -> str:
+    if explicit:
+        return "markdown" if explicit == "md" else explicit
+    if out and out.lower().endswith((".html", ".htm")):
+        return "html"
+    return "markdown"
+
+
+def _run_attrib_run(args) -> int:
+    from repro.obs import applicable_invariants, check_snapshot
+    from repro.obs.attribution import render_report
+    from repro.obs.registry import save_snapshot
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    store = None if args.no_store else "default"
+    runner = ExperimentRunner(scale=scale, store=store,
+                              record_attribution=True)
+    config = _stats_config(args.config)
+    stats, aggregator = runner.run_with_attribution(args.workload, config)
+
+    totals = aggregator.totals()
+    fraction = aggregator.shadow_resident_fraction
+    print(f"{args.workload} [{args.config}] @ {scale.name} scale: "
+          f"{int(totals['branches'])} branches over "
+          f"{int(totals['lines'])} lines attributed")
+    print(f"  BTB misses {int(totals['btb_misses'])}, shadow-resident "
+          f"{int(totals['btb_miss_l1i_hit'])} ({fraction:.1%}; "
+          f"SimStats fraction {stats.btb_miss_l1i_hit_fraction:.1%})")
+    print(f"  SBB rescues {int(totals.get('sbb_hits', 0))} "
+          f"(U {int(totals['sbb_hits_u'])} / R {int(totals['sbb_hits_r'])}), "
+          f"resteer cycles {totals['resteer_cycles_total']:.0f}")
+
+    if args.out:
+        aggregator.save(args.out)
+        print(f"artifact -> {args.out}")
+    if args.report:
+        fmt = _attrib_report_format(None, args.report)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(render_report(aggregator, fmt=fmt, top=args.top))
+        print(f"report ({fmt}) -> {args.report}")
+
+    metrics = runner.metrics_for(args.workload, config)
+    merged = dict(metrics or {})
+    merged.update(aggregator.snapshot())
+    if args.snapshot_out:
+        save_snapshot(args.snapshot_out, merged,
+                      meta={"workload": args.workload,
+                            "config": args.config, "scale": scale.name,
+                            "attribution": True})
+        print(f"merged snapshot -> {args.snapshot_out}")
+
+    violations = check_snapshot(merged)
+    if violations:
+        _print_violations(violations, f"{args.workload}/{args.config}")
+        return 1
+    checked = len(applicable_invariants(merged))
+    print(f"invariants: {checked} checked (attribution conservation "
+          f"included), all passing")
+    return 0
+
+
+def _run_attrib_report(args) -> int:
+    from repro.obs.attribution import AttributionAggregator, render_report
+
+    aggregator = AttributionAggregator.load(args.artifact)
+    fmt = _attrib_report_format(args.format, args.out)
+    rendered = render_report(aggregator, fmt=fmt, top=args.top)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"report ({fmt}) -> {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _run_attrib_diff(args) -> int:
+    from repro.obs.attribution import (DIFF_MIN_CYCLES, DIFF_MIN_PCT,
+                                       AttributionAggregator,
+                                       diff_attributions)
+
+    before = AttributionAggregator.load(args.before)
+    after = AttributionAggregator.load(args.after)
+    diff = diff_attributions(
+        before, after,
+        min_cycles=(args.min_cycles if args.min_cycles is not None
+                    else DIFF_MIN_CYCLES),
+        min_pct=(args.min_pct if args.min_pct is not None
+                 else DIFF_MIN_PCT))
+    if not diff.deltas:
+        print("no per-branch attribution movement")
+        return 0
+    print(f"comparing {args.before} -> {args.after}")
+    print(diff.render(top=args.top))
+    return 1 if diff.regressions else 0
+
+
+def _run_attrib(args) -> int:
+    if args.attrib_command == "run":
+        return _run_attrib_run(args)
+    if args.attrib_command == "report":
+        return _run_attrib_report(args)
+    return _run_attrib_diff(args)
 
 
 def _run_bench(args) -> int:
@@ -502,6 +694,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "attrib":
+        return _run_attrib(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "trace":

@@ -109,7 +109,9 @@ class BranchPredictionUnit:
                 sbb_result = self.skia.lookup(pc)
 
         if self.trace is not None:
-            self.trace.emit("btb", pc=pc, hit=btb_hit)
+            self.trace.emit("btb", pc=pc, hit=btb_hit,
+                            branch_kind=kind.value,
+                            resident=branch_line_in_l1i)
             if (not btb_hit and comparator_entry is None
                     and self.skia is not None):
                 self.trace.emit(

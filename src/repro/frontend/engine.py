@@ -62,6 +62,7 @@ class FrontEndSimulator:
         self.metrics = MetricsRegistry()
         self.trace: EventTrace | None = None
         self.timeline: TimelineRecorder | None = None
+        self.attribution = None
         self._records_seen = 0
         self._register_metrics()
         if config.record_timeline:
@@ -92,6 +93,28 @@ class FrontEndSimulator:
         self.timeline = timeline
         if self.skia is not None:
             self.skia.timeline = timeline
+
+    def attach_attribution(self, aggregator=None):
+        """Enable per-branch/per-line attribution for subsequent runs.
+
+        Registers an :class:`repro.obs.attribution.AttributionAggregator`
+        as a *sink* on the event trace (creating a trace if none is
+        attached); sinks observe every emission regardless of the ring's
+        capacity, so live attribution never drops events.  ``run`` hands
+        the aggregator its warm-up boundary, making the rollup sums
+        exactly the post-warm-up ``SimStats`` counters (the
+        ``attribution_*_conservation`` invariants).  Returns the
+        aggregator.
+        """
+        if aggregator is None:
+            from repro.obs.attribution import AttributionAggregator
+            aggregator = AttributionAggregator.for_simulation(
+                self.program, self.config)
+        if self.trace is None:
+            self.attach_trace(EventTrace())
+        self.trace.add_sink(aggregator.observe)
+        self.attribution = aggregator
+        return aggregator
 
     def metrics_snapshot(self) -> dict[str, float]:
         """One flat dict: structure gauges + post-warm-up ``sim.*``
@@ -129,6 +152,9 @@ class FrontEndSimulator:
         if records is None and record_iter is None:
             raise ValueError("provide records or record_iter")
         stream = records if records is not None else record_iter
+        if self.attribution is not None:
+            # The aggregator applies the same warm-up gate as SimStats.
+            self.attribution.warmup = warmup
 
         config = self.config
         hierarchy = self.hierarchy

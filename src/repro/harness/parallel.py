@@ -84,13 +84,21 @@ def resolve_jobs(jobs: int | None) -> int:
 
 def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
                   bolted: bool, scale: Scale,
-                  store_root: str | None = None) -> SimStats:
+                  store_root: str | None = None,
+                  record_attribution: bool = False) -> SimStats:
     """Run one cell exactly as the serial runner would.
 
     Module-level so it pickles into pool workers.  Consults/fills the
     persistent store when ``store_root`` is given; uses the per-process
     workload cache so cells sharing a (workload, seed) reuse programs and
     traces within a worker.
+
+    With ``record_attribution`` the per-branch/per-line attribution
+    artifact is persisted alongside the stats; a store hit whose entry
+    lacks attribution is *backfilled* (re-simulated and overwritten) so
+    requesting attribution always produces it.  The aggregation is the
+    same in-order event fold serial runs perform, so serial and parallel
+    artifacts are byte-identical.
     """
     from repro.frontend.engine import FrontEndSimulator
     from repro.workloads.cache import GLOBAL_CACHE
@@ -101,7 +109,9 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
         if store is not None:
             key = result_key(workload, config, seed, scale, bolted=bolted)
             cached = store.get(key)
-            if cached is not None:
+            if cached is not None and not (
+                    record_attribution
+                    and store.get_attribution(key) is None):
                 return cached
         with PROFILER.section("harness.workload"):
             program = GLOBAL_CACHE.program(workload, seed=seed,
@@ -110,11 +120,16 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
                                        bolted=bolted)
         with PROFILER.section("harness.simulate"):
             simulator = FrontEndSimulator(program, config, seed=seed)
+            if record_attribution:
+                simulator.attach_attribution()
             stats = simulator.run(trace, warmup=scale.warmup)
         if store is not None:
             # Persist the metric snapshot next to the result so serial and
             # parallel runs surface identical per-component counters.
-            store.put(key, stats, metrics=simulator.metrics_snapshot())
+            attribution = (simulator.attribution.to_jsonable()
+                           if record_attribution else None)
+            store.put(key, stats, metrics=simulator.metrics_snapshot(),
+                      attribution=attribution)
     return stats
 
 
@@ -131,10 +146,14 @@ class ParallelRunner:
     """
 
     def __init__(self, scale: Scale | None = None, jobs: int | None = None,
-                 store: ResultStore | None | str = "default"):
+                 store: ResultStore | None | str = "default",
+                 record_attribution: bool = False):
         self.scale = scale or current_scale()
         self.jobs = 1 if jobs == 1 else resolve_jobs(jobs)
         self.store = default_store() if store == "default" else store
+        #: Workers hand attribution artifacts back through the store, so
+        #: recording without a store silently discards them.
+        self.record_attribution = record_attribution
 
     @property
     def _store_root(self) -> str | None:
@@ -159,7 +178,7 @@ class ParallelRunner:
             key=lambda item: (item[1].workload, item[1].seed,
                               item[1].bolted))
         packed = [(cell.workload, cell.config, cell.seed, cell.bolted,
-                   self.scale, self._store_root)
+                   self.scale, self._store_root, self.record_attribution)
                   for _, cell in ordered]
 
         workers = min(self.jobs, len(packed)) if packed else 0

@@ -69,3 +69,17 @@ def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured markdown table (pipes escaped in cells)."""
+    def md_cell(value) -> str:
+        return _cell(value).replace("|", "\\|")
+
+    lines = ["| " + " | ".join(md_cell(header) for header in headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(md_cell(value) for value in row)
+                     + " |")
+    return "\n".join(lines)

@@ -46,14 +46,21 @@ class ExperimentRunner:
     def __init__(self, scale: Scale | None = None, seed: int = 0,
                  cache: WorkloadCache | None = None,
                  store: ResultStore | None | str = "default",
-                 jobs: int | None = None):
+                 jobs: int | None = None,
+                 record_attribution: bool = False):
         self.scale = scale or current_scale()
         self.seed = seed
         self.cache = cache or GLOBAL_CACHE
         self.store = default_store() if store == "default" else store
         self.jobs = jobs
+        #: When set, every uncached cell runs with an attribution
+        #: aggregator attached and persists the per-branch/per-line
+        #: artifact alongside its stats; a store hit lacking attribution
+        #: is re-simulated (backfilled) so the artifact always exists.
+        self.record_attribution = record_attribution
         self._results: dict[tuple, SimStats] = {}
         self._metrics: dict[tuple, dict[str, float]] = {}
+        self._attribution: dict[tuple, dict] = {}
 
     def _memo_key(self, workload: str, config: FrontEndConfig,
                   bolted: bool, seed: int) -> tuple:
@@ -95,6 +102,54 @@ class ExperimentRunner:
                 self._metrics[key] = metrics
         return metrics
 
+    def attribution_for(self, workload: str, config: FrontEndConfig,
+                        bolted: bool = False) -> dict | None:
+        """The attribution artifact of an already-run cell (memo, store).
+
+        Returns the JSON-able aggregator payload, or ``None`` when the
+        cell ran without attribution recording (use
+        :meth:`run_with_attribution` to force one into existence).
+        """
+        key = self._memo_key(workload, config, bolted, self.seed)
+        attribution = self._attribution.get(key)
+        if attribution is None and self.store is not None:
+            store_key = self.store.key(workload, config, self.seed,
+                                       self.scale, bolted=bolted)
+            attribution = self.store.get_attribution(store_key)
+            if attribution is not None:
+                self._attribution[key] = attribution
+        return attribution
+
+    def run_with_attribution(self, workload: str, config: FrontEndConfig,
+                             bolted: bool = False):
+        """Run one cell and return ``(stats, AttributionAggregator)``.
+
+        Forces attribution recording for this cell regardless of the
+        runner's default, evicting a memoised attribution-less result if
+        necessary (the store entry is backfilled in the process).
+        """
+        from repro.obs.attribution import AttributionAggregator
+
+        previous = self.record_attribution
+        self.record_attribution = True
+        try:
+            stats = self.run(workload, config, bolted=bolted)
+            payload = self.attribution_for(workload, config, bolted=bolted)
+            if payload is None:
+                # Memoised earlier without attribution; drop and re-run.
+                key = self._memo_key(workload, config, bolted, self.seed)
+                self._results.pop(key, None)
+                stats = self.run(workload, config, bolted=bolted)
+                payload = self.attribution_for(workload, config,
+                                               bolted=bolted)
+        finally:
+            self.record_attribution = previous
+        if payload is None:  # pragma: no cover - store-less parallel only
+            raise RuntimeError(
+                "attribution artifact unavailable; parallel runs need a "
+                "result store to hand artifacts back")
+        return stats, AttributionAggregator.from_jsonable(payload)
+
     def _run_uncached(
             self, workload: str, config: FrontEndConfig, bolted: bool,
             seed: int) -> tuple[SimStats, dict[str, float] | None]:
@@ -105,7 +160,16 @@ class ExperimentRunner:
                                            self.scale, bolted=bolted)
                 stored = self.store.get(store_key)
                 if stored is not None:
-                    return stored, self.store.get_metrics(store_key)
+                    if self.record_attribution:
+                        attribution = self.store.get_attribution(store_key)
+                        if attribution is not None:
+                            self._attribution[self._memo_key(
+                                workload, config, bolted, seed)] = attribution
+                            return stored, self.store.get_metrics(store_key)
+                        # Entry predates attribution: fall through and
+                        # re-simulate to backfill it.
+                    else:
+                        return stored, self.store.get_metrics(store_key)
             with PROFILER.section("harness.workload"):
                 program = self.cache.program(workload, seed=seed,
                                              bolted=bolted)
@@ -113,10 +177,18 @@ class ExperimentRunner:
                                          seed=seed, bolted=bolted)
             with PROFILER.section("harness.simulate"):
                 simulator = FrontEndSimulator(program, config, seed=seed)
+                if self.record_attribution:
+                    simulator.attach_attribution()
                 stats = simulator.run(trace, warmup=self.scale.warmup)
                 metrics = simulator.metrics_snapshot()
+            attribution = None
+            if self.record_attribution:
+                attribution = simulator.attribution.to_jsonable()
+                self._attribution[self._memo_key(
+                    workload, config, bolted, seed)] = attribution
             if self.store is not None:
-                self.store.put(store_key, stats, metrics=metrics)
+                self.store.put(store_key, stats, metrics=metrics,
+                               attribution=attribution)
         return stats, metrics
 
     # ------------------------------------------------------------------
@@ -147,8 +219,9 @@ class ExperimentRunner:
                         if metrics is not None:
                             self._metrics[key] = metrics
             else:
-                parallel = ParallelRunner(scale=self.scale, jobs=jobs,
-                                          store=self.store)
+                parallel = ParallelRunner(
+                    scale=self.scale, jobs=jobs, store=self.store,
+                    record_attribution=self.record_attribution)
                 for cell, stats in zip(missing,
                                        parallel.run_batch(missing)):
                     self._results.setdefault(cell.identity(self.scale),
@@ -167,3 +240,4 @@ class ExperimentRunner:
     def clear(self) -> None:
         self._results.clear()
         self._metrics.clear()
+        self._attribution.clear()

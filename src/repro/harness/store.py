@@ -213,8 +213,28 @@ class ResultStore:
             return None
         return metrics
 
+    def get_attribution(self, key: str) -> dict | None:
+        """The attribution artifact stored alongside a result, if any.
+
+        Returns the JSON-able aggregator payload (rebuild it with
+        ``AttributionAggregator.from_jsonable``); ``None`` for entries
+        written without attribution recording.  Uncounted, like
+        :meth:`get_metrics`.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            attribution = payload.get("attribution")
+        except (OSError, ValueError):
+            return None
+        if not isinstance(attribution, dict):
+            return None
+        return attribution
+
     def put(self, key: str, stats: SimStats,
-            metrics: dict[str, float] | None = None) -> Path:
+            metrics: dict[str, float] | None = None,
+            attribution: dict | None = None) -> Path:
         with PROFILER.section("store.put"):
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -225,6 +245,8 @@ class ResultStore:
             }
             if metrics is not None:
                 payload["metrics"] = dict(metrics)
+            if attribution is not None:
+                payload["attribution"] = attribution
             descriptor, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".json")
             try:

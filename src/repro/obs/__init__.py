@@ -18,6 +18,10 @@ subsystem:
   total resteers, SBB insertions cover evictions + occupancy, ...).
   ``repro stats`` runs them from the CLI; the tier-1 suite runs them
   over the Figure 14 grid.
+* :mod:`repro.obs.attribution` -- per-static-branch and per-cache-line
+  rollups of the event stream (who causes the BTB misses, who gets
+  rescued, where the resteer cycles go), conserved exactly against the
+  aggregate ``SimStats`` counters and exposed as ``repro attrib``.
 * :mod:`repro.obs.timeline` -- an opt-in per-cycle pipeline timeline
   (IAG/fetch/decode/retire/SBD tracks) exported as Chrome trace-event
   JSON for Perfetto / ``chrome://tracing``.
@@ -32,6 +36,14 @@ maintain, and tracing costs nothing when no trace is attached.
 
 from __future__ import annotations
 
+from repro.obs.attribution import (
+    AttributionAggregator,
+    AttributionDiff,
+    BranchAttribution,
+    LineAttribution,
+    diff_attributions,
+    render_report,
+)
 from repro.obs.invariants import (
     INVARIANTS,
     Violation,
@@ -55,10 +67,17 @@ from repro.obs.timeline import (
     chrome_from_jsonl,
     chrome_from_trace_events,
 )
-from repro.obs.trace import EventTrace
+from repro.obs.trace import DroppedEventsWarning, EventTrace
 
 __all__ = [
+    "AttributionAggregator",
+    "AttributionDiff",
+    "BranchAttribution",
+    "DroppedEventsWarning",
     "EventTrace",
+    "LineAttribution",
+    "diff_attributions",
+    "render_report",
     "Histogram",
     "INVARIANTS",
     "MetricsRegistry",

@@ -259,6 +259,65 @@ def _check_cross_layer_bounds(s: Snapshot) -> str | None:
     return None
 
 
+def _check_attribution_btb(s: Snapshot) -> str | None:
+    # The attribution rollup applies the same warm-up gate as SimStats,
+    # so per-branch sums equal the aggregate counters *exactly* -- any
+    # drift means attribution is silently lying about the population the
+    # Figure 1/15 fraction is computed over.
+    for attrib, sim in (("attrib.btb_lookups", "sim.btb_lookups"),
+                        ("attrib.btb_misses", "sim.btb_misses_total"),
+                        ("attrib.btb_miss_l1i_hit",
+                         "sim.btb_miss_l1i_hit")):
+        message = _eq(s, attrib, s[sim], sim)
+        if message:
+            return message
+    return None
+
+
+def _check_attribution_sbb(s: Snapshot) -> str | None:
+    for attrib, sim in (("attrib.sbb_lookups", "sim.sbb_lookups"),
+                        ("attrib.sbb_hits_u", "sim.sbb_hits_u"),
+                        ("attrib.sbb_hits_r", "sim.sbb_hits_r"),
+                        ("attrib.sbb_misses", "sim.sbb_misses")):
+        message = _eq(s, attrib, s[sim], sim)
+        if message:
+            return message
+    return None
+
+
+def _check_attribution_resteers(s: Snapshot) -> str | None:
+    for attrib, sim in (("attrib.resteers_total", "sim.resteers_total"),
+                        ("attrib.decode_resteers", "sim.decode_resteers"),
+                        ("attrib.exec_resteers", "sim.exec_resteers")):
+        message = _eq(s, attrib, s[sim], sim)
+        if message:
+            return message
+    # Per-cause equality over the union of both key sets, so a cause
+    # present on one side and absent on the other is itself a violation.
+    causes = {key.split(".", 2)[2] for key in s
+              if key.startswith("attrib.resteer_causes.")}
+    causes |= {key.split(".", 2)[2] for key in s
+               if key.startswith("sim.resteer_causes.")}
+    for cause in sorted(causes):
+        attributed = s.get(f"attrib.resteer_causes.{cause}", 0)
+        counted = s.get(f"sim.resteer_causes.{cause}", 0)
+        if attributed != counted:
+            return (f"attrib.resteer_causes.{cause}={attributed} but "
+                    f"sim.resteer_causes.{cause}={counted}")
+    return None
+
+
+def _check_attribution_sbd(s: Snapshot) -> str | None:
+    for attrib, sim in (("attrib.sbd_head_decodes", "sim.sbd_head_decodes"),
+                        ("attrib.sbd_tail_decodes", "sim.sbd_tail_decodes"),
+                        ("attrib.sbd_head_discarded",
+                         "sim.sbd_head_discarded")):
+        message = _eq(s, attrib, s[sim], sim)
+        if message:
+            return message
+    return None
+
+
 _SIM_BASE = ("sim.btb_lookups", "sim.branches_total")
 _SBB_SIM = ("sim.sbb_lookups", "sim.sbb_misses", "sim.sbb_hits_u",
             "sim.sbb_hits_r")
@@ -342,6 +401,38 @@ INVARIANTS: tuple[Invariant, ...] = (
               "structure counters",
               _check_cross_layer_bounds,
               requires=("sim.btb_lookups", "btb.lookups")),
+    Invariant("attribution_btb_conservation",
+              "per-branch BTB attribution sums exactly to the aggregate "
+              "miss counters (the Figure 1/15 population)",
+              _check_attribution_btb,
+              requires=("attrib.btb_lookups", "attrib.btb_misses",
+                        "attrib.btb_miss_l1i_hit", "sim.btb_lookups",
+                        "sim.btb_misses_total", "sim.btb_miss_l1i_hit")),
+    Invariant("attribution_sbb_conservation",
+              "per-branch U/R-SBB attribution sums exactly to the "
+              "aggregate SBB counters",
+              _check_attribution_sbb,
+              requires=("attrib.sbb_lookups", "attrib.sbb_hits_u",
+                        "attrib.sbb_hits_r", "attrib.sbb_misses")
+              + _SBB_SIM,
+              flags=("config.skia_enabled",)),
+    Invariant("attribution_resteer_conservation",
+              "per-branch resteer attribution (total, per stage, per "
+              "cause) sums exactly to the aggregate resteer counters",
+              _check_attribution_resteers,
+              requires=("attrib.resteers_total", "attrib.decode_resteers",
+                        "attrib.exec_resteers", "sim.resteers_total",
+                        "sim.decode_resteers", "sim.exec_resteers")),
+    Invariant("attribution_sbd_conservation",
+              "per-line SBD attribution sums exactly to the aggregate "
+              "shadow-decode counters",
+              _check_attribution_sbd,
+              requires=("attrib.sbd_head_decodes",
+                        "attrib.sbd_tail_decodes",
+                        "attrib.sbd_head_discarded",
+                        "sim.sbd_head_decodes", "sim.sbd_tail_decodes",
+                        "sim.sbd_head_discarded"),
+              flags=("config.skia_enabled",)),
 )
 
 

@@ -201,7 +201,16 @@ def chrome_from_trace_events(events: Iterable[dict]) -> list[dict]:
 
 
 def chrome_from_jsonl(in_path: str | Path, out_path: str | Path) -> Path:
-    """Convert an EventTrace JSONL dump into a Chrome trace JSON file."""
+    """Convert an EventTrace JSONL dump into a Chrome trace JSON file.
+
+    Warns with :class:`repro.obs.trace.DroppedEventsWarning` when the
+    dump's ``trace_header`` records ``dropped > 0`` -- the converted
+    timeline is then missing its oldest events, not complete.
+    """
+    import warnings
+
+    from repro.obs.trace import DroppedEventsWarning
+
     in_path, out_path = Path(in_path), Path(out_path)
     events = []
     with open(in_path, encoding="utf-8") as handle:
@@ -209,6 +218,13 @@ def chrome_from_jsonl(in_path: str | Path, out_path: str | Path) -> Path:
             line = line.strip()
             if line:
                 events.append(json.loads(line))
+    for event in events:
+        if event.get("kind") == "trace_header" and event.get("dropped", 0):
+            warnings.warn(
+                f"{in_path}: trace header reports {event['dropped']} "
+                f"dropped events; the converted timeline is truncated "
+                f"(re-dump with a larger trace capacity)",
+                DroppedEventsWarning, stacklevel=2)
     payload = {
         "traceEvents": chrome_from_trace_events(events),
         "displayTimeUnit": "ms",

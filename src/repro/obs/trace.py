@@ -9,7 +9,8 @@ processed, an event kind, and kind-specific fields:
 ========== ==========================================================
 kind       fields
 ========== ==========================================================
-``btb``    ``pc``, ``hit``
+``btb``    ``pc``, ``hit``, ``branch_kind``, ``resident`` (branch
+           line L1I-resident at lookup -- the Figure 1/15 gate)
 ``sbb``    ``pc``, ``hit``, ``which`` (``"u"``/``"r"``/``None``)
 ``sbd``    ``side`` (``"head"``/``"tail"``), ``pc``, ``branches``,
            ``discarded``, ``valid_paths`` (head only)
@@ -26,7 +27,16 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
+
+
+class DroppedEventsWarning(UserWarning):
+    """A trace source lost events before a reader could consume them.
+
+    Raised (as a warning) by readers of ring-buffered dumps whose header
+    records ``dropped > 0``: downstream rollups built from such a stream
+    silently under-count unless the loss is surfaced.
+    """
 
 
 class EventTrace:
@@ -42,6 +52,14 @@ class EventTrace:
         #: engine updates this once per record so per-component emitters
         #: need not thread it through.
         self.record_index: int | None = None
+        #: Live observers called with every event *before* ring
+        #: truncation -- a sink sees the complete stream even when the
+        #: ring drops, so aggregations built on sinks stay exact.
+        self._sinks: list[Callable[[dict], None]] = []
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        """Register a live observer for every subsequent emission."""
+        self._sinks.append(sink)
 
     def emit(self, kind: str, **fields) -> None:
         event = {"seq": self.emitted, "kind": kind}
@@ -50,6 +68,8 @@ class EventTrace:
         event.update(fields)
         self._events.append(event)
         self.emitted += 1
+        for sink in self._sinks:
+            sink(event)
 
     @property
     def dropped(self) -> int:
@@ -69,6 +89,10 @@ class EventTrace:
     def clear(self) -> None:
         self._events.clear()
         self.emitted = 0
+        # Reset the record stamp too: a cleared trace reused on another
+        # simulator must not stamp its first events with the previous
+        # run's final record index.
+        self.record_index = None
 
     def to_jsonl(self, path: str | Path) -> Path:
         """Write the retained events, one JSON object per line.

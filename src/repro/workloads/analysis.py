@@ -106,34 +106,85 @@ class ShadowGeometry:
                 if self.total_branches else 0.0)
 
 
-def shadow_geometry(program: Program) -> ShadowGeometry:
-    geometry = ShadowGeometry()
+@dataclass(frozen=True)
+class ShadowPosition:
+    """One static branch's head/tail shadow candidacy.
+
+    ``tail`` -- the branch sits past an earlier block's exit within the
+    same line (tail-shadow bytes a taken entry into the line exposes);
+    ``head`` -- a later block's entry within the same line lies past the
+    branch's end (head-shadow bytes a mid-line entry exposes).
+    """
+
+    pc: int
+    kind: BranchKind
+    head: bool
+    tail: bool
+    eligible: bool  # DirectUncond/Call/Return (SBB-capturable)
+
+    @property
+    def label(self) -> str:
+        """Compact position label for attribution reports."""
+        if self.head and self.tail:
+            return "head+tail"
+        if self.head:
+            return "head"
+        if self.tail:
+            return "tail"
+        return "none"
+
+
+def shadow_positions(program: Program) -> list[ShadowPosition]:
+    """Per-terminator shadow census, one entry per basic block.
+
+    The list form preserves duplicate terminator PCs exactly as the
+    per-block loop sees them, so :func:`shadow_geometry` aggregates to
+    identical counts; use :func:`shadow_position_map` for keyed lookup.
+    """
     blocks = sorted(program.iter_blocks(), key=lambda b: b.start_pc)
     exits = [(block.terminator.pc + block.terminator.length)
              for block in blocks]
     entries = [block.start_pc for block in blocks]
     exit_index = 0
+    positions: list[ShadowPosition] = []
 
     for block in blocks:
         terminator = block.terminator
-        geometry.total_branches += 1
-        if terminator.kind.sbb_eligible:
-            geometry.eligible_branches += 1
         line = terminator.pc & ~(LINE_SIZE - 1)
         # Tail candidate: some earlier block in the same line exits
         # before this branch starts.
         while exit_index < len(exits) and exits[exit_index] <= terminator.pc:
             exit_index += 1
-        for earlier_exit in exits[max(0, exit_index - 8):exit_index]:
-            if line <= earlier_exit <= terminator.pc:
-                geometry.tail_shadow_candidates += 1
-                break
+        tail = any(line <= earlier_exit <= terminator.pc
+                   for earlier_exit in exits[max(0, exit_index - 8):
+                                             exit_index])
         # Head candidate: some block entry in the same line lies after
         # this branch's end.
         end = terminator.pc + terminator.length
         line_end = line + LINE_SIZE
-        if any(end <= entry < line_end for entry in entries
-               if line <= entry):
+        head = any(end <= entry < line_end for entry in entries
+                   if line <= entry)
+        positions.append(ShadowPosition(
+            pc=terminator.pc, kind=terminator.kind, head=head, tail=tail,
+            eligible=terminator.kind.sbb_eligible))
+    return positions
+
+
+def shadow_position_map(program: Program) -> dict[int, ShadowPosition]:
+    """Shadow positions keyed by branch PC (for attribution stamping)."""
+    return {position.pc: position
+            for position in shadow_positions(program)}
+
+
+def shadow_geometry(program: Program) -> ShadowGeometry:
+    geometry = ShadowGeometry()
+    for position in shadow_positions(program):
+        geometry.total_branches += 1
+        if position.eligible:
+            geometry.eligible_branches += 1
+        if position.tail:
+            geometry.tail_shadow_candidates += 1
+        if position.head:
             geometry.head_shadow_candidates += 1
     return geometry
 

@@ -120,3 +120,96 @@ class TestStatsCommands:
         assert code == 0
         assert "checked 4 cells" in out
         assert "0 failing" in out
+
+
+class TestAttribParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["attrib", "run", "voter"])
+        assert args.config == "skia"
+        assert args.top == 20
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attrib", "run", "bogus"])
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attrib", "run", "voter",
+                                       "--config", "bogus"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attrib"])
+
+    def test_stats_check_snapshot_files(self):
+        args = build_parser().parse_args(["stats", "check",
+                                          "--snapshot", "a.json", "b.json"])
+        assert args.snapshot == ["a.json", "b.json"]
+
+
+class TestAttribCommands:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        """One `attrib run` producing artifact + HTML report + snapshot."""
+        root = tmp_path_factory.mktemp("attrib")
+        paths = {"artifact": root / "noop.json",
+                 "report": root / "noop.html",
+                 "snapshot": root / "noop-snap.json"}
+        code = main(["--scale", "smoke", "attrib", "run", "noop",
+                     "--config", "skia", "--no-store",
+                     "--out", str(paths["artifact"]),
+                     "--report", str(paths["report"]),
+                     "--snapshot-out", str(paths["snapshot"])])
+        assert code == 0
+        return paths
+
+    def test_run_writes_all_outputs(self, artifacts, capsys):
+        for path in artifacts.values():
+            assert path.exists()
+        assert artifacts["report"].read_text(
+            encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_run_summary_and_invariants(self, capsys):
+        code = main(["--scale", "smoke", "attrib", "run", "noop",
+                     "--config", "base", "--no-store"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "branches over" in out
+        assert "all passing" in out
+
+    def test_snapshot_checkable_by_stats_check(self, artifacts, capsys):
+        code = main(["stats", "check", "--snapshot",
+                     str(artifacts["snapshot"])])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariants checked, all passing" in out
+
+    def test_report_renders_markdown(self, artifacts, capsys):
+        assert main(["attrib", "report", str(artifacts["artifact"])]) == 0
+        out = capsys.readouterr().out
+        assert "# Attribution report" in out
+        assert "Resteer causes" in out
+
+    def test_diff_identical_artifact_exits_zero(self, artifacts, capsys):
+        code = main(["attrib", "diff", str(artifacts["artifact"]),
+                     str(artifacts["artifact"])])
+        assert code == 0
+        assert "no per-branch attribution movement" in (
+            capsys.readouterr().out)
+
+    def test_diff_flags_regression_nonzero(self, tmp_path, capsys):
+        from repro.obs import AttributionAggregator
+
+        before = AttributionAggregator(workload="synthetic")
+        after = AttributionAggregator(workload="synthetic")
+        after.observe({"kind": "resteer", "record": 0, "pc": 0x40,
+                       "stage": "exec", "cause": "cond_mispredict",
+                       "latency": 500.0})
+        before_path = before.save(tmp_path / "before.json")
+        after_path = after.save(tmp_path / "after.json")
+        code = main(["attrib", "diff", str(before_path), str(after_path),
+                     "--min-cycles", "100"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED" in out
+        assert "1 regressed past thresholds" in out

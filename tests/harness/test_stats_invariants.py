@@ -6,9 +6,19 @@ grid runs at the quick scale through the default persistent store, so a
 warmed ``.repro_cache/`` makes this an O(file-read) pass; a cold cache
 simulates each cell once and warms it for everyone else.
 
-A second group checks that serial and parallel execution persist
-byte-identical snapshots (the aggregation-correctness criterion), at a
-tiny scale with throwaway stores.
+A second grid runs the same sixteen workloads x four configurations
+with per-branch attribution recording at a much smaller dedicated scale
+(attribution roughly doubles simulation time, so the quick grid stays
+attribution-free) and checks the ``attribution_*_conservation``
+invariants: the per-branch/per-line rollup sums must equal the
+aggregate ``SimStats`` counters *exactly*, cell by cell.  It shares the
+default persistent store, so only the first run after a source change
+simulates anything.
+
+A last group checks that serial and parallel execution persist
+byte-identical snapshots -- and byte-identical attribution artifacts --
+(the aggregation-correctness criterion), at a tiny scale with
+throwaway stores.
 """
 
 import json
@@ -20,7 +30,7 @@ from repro.harness.parallel import Cell
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scale import SCALES, Scale
 from repro.harness.store import ResultStore
-from repro.obs import applicable_invariants, check_snapshot
+from repro.obs import AttributionAggregator, applicable_invariants, check_snapshot
 from repro.workloads.profiles import WORKLOAD_NAMES
 
 
@@ -90,15 +100,99 @@ class TestFig14Grid:
             assert causes > 0, f"{workload}/{name} recorded no resteers"
 
 
+#: Attribution roughly doubles a cell's simulation time, so the
+#: conservation grid runs at a dedicated small scale instead of
+#: piggybacking on the quick grid.  Conservation is an exact integer
+#: identity at *any* scale; scale only buys event volume.
+ATTRIB_SCALE = Scale("attrib", records=3_000, warmup=1_000)
+
+
+@pytest.fixture(scope="module")
+def attribution_grid():
+    """{(workload, config): (metrics, attribution payload)} per cell."""
+    runner = ExperimentRunner(scale=ATTRIB_SCALE, record_attribution=True)
+    cells = [Cell(workload, config)
+             for workload in WORKLOAD_NAMES
+             for config in FIG14_CONFIGS.values()]
+    runner.run_cells(cells, jobs=1)
+    grid = {}
+    for workload in WORKLOAD_NAMES:
+        for name, config in FIG14_CONFIGS.items():
+            grid[(workload, name)] = (
+                runner.metrics_for(workload, config),
+                runner.attribution_for(workload, config))
+    return grid
+
+
+class TestAttributionGrid:
+    """Per-branch rollups must conserve the aggregate counters, cell by
+    cell, over the whole Figure 14 grid."""
+
+    def test_every_cell_has_an_artifact(self, attribution_grid):
+        missing = [key for key, (metrics, payload) in
+                   attribution_grid.items()
+                   if metrics is None or payload is None]
+        assert missing == []
+
+    def test_conservation_invariants_hold_everywhere(self, attribution_grid):
+        failures = []
+        for (workload, name), (metrics, payload) in attribution_grid.items():
+            aggregator = AttributionAggregator.from_jsonable(payload)
+            merged = dict(metrics)
+            merged.update(aggregator.snapshot())
+            for violation in check_snapshot(merged):
+                failures.append(
+                    f"{workload}/{name}: {violation.invariant}: "
+                    f"{violation.message}")
+        assert failures == [], "\n".join(failures)
+
+    def test_attribution_invariants_are_exercised(self, attribution_grid):
+        metrics, payload = attribution_grid[(WORKLOAD_NAMES[0], "both")]
+        merged = dict(metrics)
+        merged.update(AttributionAggregator.from_jsonable(payload).snapshot())
+        names = applicable_invariants(merged)
+        assert "attribution_btb_conservation" in names
+        assert "attribution_sbb_conservation" in names
+        assert "attribution_resteer_conservation" in names
+        assert "attribution_sbd_conservation" in names
+        # Base cells have no SBB/SBD counters, but BTB and resteer
+        # conservation still applies.
+        metrics, payload = attribution_grid[(WORKLOAD_NAMES[0], "base")]
+        merged = dict(metrics)
+        merged.update(AttributionAggregator.from_jsonable(payload).snapshot())
+        names = applicable_invariants(merged)
+        assert "attribution_btb_conservation" in names
+        assert "attribution_resteer_conservation" in names
+
+    def test_shadow_resident_fraction_identity(self, attribution_grid):
+        # The per-branch reconstruction of the Figure 1/15 fraction is
+        # *equal* to the aggregate one -- same integers, not "close".
+        for (workload, name), (metrics, payload) in attribution_grid.items():
+            aggregator = AttributionAggregator.from_jsonable(payload)
+            misses = metrics["sim.btb_misses_total"]
+            expected = (metrics["sim.btb_miss_l1i_hit"] / misses
+                        if misses else 0.0)
+            assert aggregator.shadow_resident_fraction == expected, (
+                f"{workload}/{name}")
+
+    def test_artifact_roundtrip_is_stable(self, attribution_grid):
+        _, payload = attribution_grid[(WORKLOAD_NAMES[0], "both")]
+        rebuilt = AttributionAggregator.from_jsonable(payload)
+        assert json.dumps(rebuilt.to_jsonable(), sort_keys=True) == (
+            json.dumps(payload, sort_keys=True))
+
+
 class TestSerialParallelAgreement:
-    """Persisted snapshots must not depend on the execution strategy."""
+    """Persisted snapshots and attribution artifacts must not depend on
+    the execution strategy."""
 
     SCALE = Scale("sp-test", records=6_000, warmup=2_000)
     WORKLOADS = ("voter", "kafka")
 
     def run_grid(self, tmp_path, label, jobs):
         store = ResultStore(tmp_path / label)
-        runner = ExperimentRunner(scale=self.SCALE, store=store)
+        runner = ExperimentRunner(scale=self.SCALE, store=store,
+                                  record_attribution=True)
         cells = [Cell(workload, config)
                  for workload in self.WORKLOADS
                  for config in FIG14_CONFIGS.values()]
@@ -106,15 +200,22 @@ class TestSerialParallelAgreement:
         out = {}
         for workload in self.WORKLOADS:
             for name, config in FIG14_CONFIGS.items():
-                out[(workload, name)] = runner.metrics_for(workload, config)
+                out[(workload, name)] = (
+                    runner.metrics_for(workload, config),
+                    runner.attribution_for(workload, config))
         return out
 
-    def test_serial_and_parallel_snapshots_identical(self, tmp_path):
+    def test_serial_and_parallel_results_identical(self, tmp_path):
         serial = self.run_grid(tmp_path, "serial", jobs=1)
         parallel = self.run_grid(tmp_path, "parallel", jobs=2)
         assert set(serial) == set(parallel)
         for key in serial:
-            assert serial[key] is not None
+            serial_metrics, serial_attrib = serial[key]
+            parallel_metrics, parallel_attrib = parallel[key]
+            assert serial_metrics is not None
+            assert serial_attrib is not None
             # Compare through JSON: exactly what the store persists.
-            assert json.dumps(serial[key], sort_keys=True) == (
-                json.dumps(parallel[key], sort_keys=True)), key
+            assert json.dumps(serial_metrics, sort_keys=True) == (
+                json.dumps(parallel_metrics, sort_keys=True)), key
+            assert json.dumps(serial_attrib, sort_keys=True) == (
+                json.dumps(parallel_attrib, sort_keys=True)), key

@@ -140,6 +140,29 @@ class TestJsonlConversion:
         names = {e["name"] for e in instants}
         assert {"miss", "hit:u", "head", "undetected_branch"} <= names
 
+    def test_truncated_dump_warns(self, tmp_path):
+        # A capacity-1 ring keeps one event of many; the converted
+        # timeline silently missing data would read as "nothing
+        # happened", so the dropped count in the header must surface.
+        from repro.obs import DroppedEventsWarning
+
+        trace = EventTrace(capacity=1)
+        for index in range(4):
+            trace.emit("btb", pc=index, hit=False)
+        jsonl = trace.to_jsonl(tmp_path / "truncated.jsonl")
+        with pytest.warns(DroppedEventsWarning, match="3 dropped"):
+            chrome_from_jsonl(jsonl, tmp_path / "truncated-chrome.json")
+
+    def test_complete_dump_does_not_warn(self, tmp_path):
+        import warnings
+
+        trace = EventTrace(capacity=8)
+        trace.emit("btb", pc=1, hit=True)
+        jsonl = trace.to_jsonl(tmp_path / "complete.jsonl")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            chrome_from_jsonl(jsonl, tmp_path / "complete-chrome.json")
+
     def test_header_skipped_and_tracks_stable(self):
         events = [
             {"kind": "trace_header", "capacity": 8, "emitted": 2,
