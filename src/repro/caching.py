@@ -14,7 +14,7 @@ and re-inserting a key on every touch; both operations are O(1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterator
 
 _MISSING = object()
 
@@ -58,12 +58,21 @@ class LRUCache:
     re-ordering (property-tested in tests/test_caching.py):
     ``hits + misses == gets``, ``evictions == new-key stores - size``,
     and ``size <= maxsize``.
+
+    ``on_evict`` (when given) is called as ``on_evict(key, value)`` for
+    every value displaced from the cache -- capacity evictions and
+    overwrites of an existing key with a *different* value -- so values
+    owning external resources (e.g. shared-memory segments) can release
+    them.  ``clear()`` does not invoke it; call-sites that clear must
+    dispose of live values themselves (see ``WorkloadCache.clear``).
     """
 
-    def __init__(self, maxsize: int | None = None):
+    def __init__(self, maxsize: int | None = None,
+                 on_evict: Callable[[Hashable, Any], None] | None = None):
         if maxsize is not None and maxsize < 0:
             raise ValueError("maxsize must be non-negative or None")
         self.maxsize = maxsize
+        self.on_evict = on_evict
         self._data: dict[Hashable, Any] = {}
         self.hits = 0
         self.misses = 0
@@ -85,12 +94,16 @@ class LRUCache:
 
     def __setitem__(self, key: Hashable, value: Any) -> None:
         if key in self._data:
-            del self._data[key]
+            displaced = self._data.pop(key)
+            if self.on_evict is not None and displaced is not value:
+                self.on_evict(key, displaced)
         self._data[key] = value
         if self.maxsize is not None and len(self._data) > self.maxsize:
             oldest = next(iter(self._data))
-            del self._data[oldest]
+            evicted = self._data.pop(oldest)
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(oldest, evicted)
 
     def __contains__(self, key: Hashable) -> bool:
         """Uncounted, recency-neutral membership probe."""

@@ -644,10 +644,22 @@ def _run_bench(args) -> int:
             return 0
     threshold = (args.threshold if args.threshold is not None
                  else bench.DEFAULT_THRESHOLD_PCT)
-    regressions, lines = bench.compare_bench(
-        bench.load_bench(before_path), bench.load_bench(after_path),
-        threshold_pct=threshold,
-        figure_threshold_pct=args.figure_threshold)
+    try:
+        regressions, lines = bench.compare_bench(
+            bench.load_bench(before_path), bench.load_bench(after_path),
+            threshold_pct=threshold,
+            figure_threshold_pct=args.figure_threshold)
+    except bench.BenchSchemaMismatch as mismatch:
+        print(f"cannot compare {before_path} (schema "
+              f"{mismatch.before_schema}) with {after_path} (schema "
+              f"{mismatch.after_schema}): the files use different bench "
+              f"payload schemas")
+        print("re-record both sides with this build (`repro bench run`) "
+              "or re-bless the baseline from a fresh run")
+        return 2
+    except ValueError as error:
+        print(f"cannot compare: {error}")
+        return 2
     print(f"comparing {before_path} -> {after_path}")
     for line in lines:
         print(line)

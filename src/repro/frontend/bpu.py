@@ -94,9 +94,22 @@ class BranchPredictionUnit:
         line at lookup time (before this block's prefetch), feeding the
         paper's Figure 1/15 metric.
         """
-        pc = record.branch_pc
-        kind = record.kind
+        return self.process_fields(
+            record.block_start, record.branch_pc, record.kind,
+            record.taken, record.target, record.fallthrough,
+            branch_line_in_l1i, stats)
 
+    def process_fields(self, block_start: int, pc: int, kind: BranchKind,
+                       taken: bool, target: int, fallthrough: int,
+                       branch_line_in_l1i: bool,
+                       stats: SimStats | None) -> Prediction:
+        """:meth:`process` over unpacked record fields.
+
+        The compiled-trace hot loop (``FrontEndSimulator.run_compiled``)
+        reads flat columns and calls this directly, skipping
+        ``BlockRecord`` construction; both entry points execute the same
+        code, so object and compiled replays stay bit-identical.
+        """
         entry = self.btb.lookup(pc)
         btb_hit = entry is not None
         comparator_entry = None
@@ -121,7 +134,7 @@ class BranchPredictionUnit:
         if stats is not None:
             stats.btb_lookups += 1
             stats.branches[kind] += 1
-            if record.taken:
+            if taken:
                 stats.taken_branches += 1
             if not btb_hit:
                 stats.btb_misses[kind] += 1
@@ -137,24 +150,29 @@ class BranchPredictionUnit:
                         stats.sbb_misses += 1
 
         if btb_hit:
-            prediction = self._process_btb_hit(record, entry, stats)
+            prediction = self._process_btb_hit(pc, kind, taken, target,
+                                               fallthrough, entry, stats)
         elif comparator_entry is not None:
             # A comparator hit behaves like a BTB hit (it supplies kind
             # and target), except btb_hit stays False for miss stats.
-            prediction = self._process_btb_hit(record, comparator_entry,
+            prediction = self._process_btb_hit(pc, kind, taken, target,
+                                               fallthrough, comparator_entry,
                                                stats)
             prediction = Prediction(False, None, prediction.resteer, False,
                                     prediction.wrong_path_pc,
                                     prediction.resteer_cause)
         elif sbb_result is not None:
-            prediction = self._process_sbb_hit(record, sbb_result, stats)
+            prediction = self._process_sbb_hit(pc, kind, taken, target,
+                                               fallthrough, sbb_result, stats)
         else:
             if (self.comparator is not None
                     and hasattr(self.comparator, "on_btb_miss")):
-                self.comparator.on_btb_miss(record.block_start)
-            prediction = self._process_undetected(record, stats)
+                self.comparator.on_btb_miss(block_start)
+            prediction = self._process_undetected(pc, kind, taken, target,
+                                                  fallthrough, stats)
 
-        self._commit_updates(record, prediction, stats)
+        self._commit_updates(pc, kind, target, fallthrough, prediction,
+                             stats)
         return prediction
 
     def _comparator_lookup(self, pc: int, branch_line_in_l1i: bool):
@@ -165,58 +183,58 @@ class BranchPredictionUnit:
     # Case: BTB hit (possibly a partial-tag alias)
     # ------------------------------------------------------------------
 
-    def _process_btb_hit(self, record: BlockRecord, entry,
+    def _process_btb_hit(self, pc: int, kind: BranchKind, taken: bool,
+                         target: int, fallthrough: int, entry,
                          stats: SimStats | None) -> Prediction:
-        pc, kind = record.branch_pc, record.kind
         if entry.kind is not kind:
             # Partial-tag alias: the BPU acted on another branch's entry.
             # The decoder notices the mismatch (wrong type/target) and
             # repairs early.
             if stats is not None:
                 stats.btb_false_hits += 1
-            self._train_side_predictors(record, stats)
-            if record.taken:
+            self._train_side_predictors(pc, kind, taken, target, stats)
+            if taken:
                 return Prediction(True, None, "decode", False,
-                                  record.fallthrough, "btb_alias")
+                                  fallthrough, "btb_alias")
             return Prediction(True, None, None, False, None)
 
         if kind is BranchKind.DIRECT_COND:
-            predicted_taken = self._predict_cond(pc, record.taken, stats)
-            if predicted_taken == record.taken:
+            predicted_taken = self._predict_cond(pc, taken, stats)
+            if predicted_taken == taken:
                 return Prediction(True, None, None, False, None)
-            wrong = record.target if not record.taken else record.fallthrough
+            wrong = target if not taken else fallthrough
             return Prediction(True, None, "exec", False, wrong,
                               "cond_mispredict")
 
         if kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL):
-            if entry.target == record.target:
+            if entry.target == target:
                 return Prediction(True, None, None, False, None)
             # Stale or aliased target; the decoder recomputes it.
-            return Prediction(True, None, "decode", False, record.fallthrough,
+            return Prediction(True, None, "decode", False, fallthrough,
                               "btb_stale_target")
 
         if kind is BranchKind.RETURN:
-            correct = self._predict_return(record, stats)
+            correct = self._predict_return(target, stats)
             if correct:
                 return Prediction(True, None, None, False, None)
-            return Prediction(True, None, "exec", False, record.fallthrough,
+            return Prediction(True, None, "exec", False, fallthrough,
                               "ras_mispredict")
 
         # Indirect jump/call: the BTB entry flags the branch; ITTAGE
         # provides the target.
-        correct = self._predict_indirect(record, stats)
+        correct = self._predict_indirect(pc, target, stats)
         if correct:
             return Prediction(True, None, None, False, None)
-        return Prediction(True, None, "exec", False, record.fallthrough,
+        return Prediction(True, None, "exec", False, fallthrough,
                           "indirect_mispredict")
 
     # ------------------------------------------------------------------
     # Case: BTB miss, SBB hit (Skia's contribution)
     # ------------------------------------------------------------------
 
-    def _process_sbb_hit(self, record: BlockRecord, sbb_result,
+    def _process_sbb_hit(self, pc: int, kind: BranchKind, taken: bool,
+                         target: int, fallthrough: int, sbb_result,
                          stats: SimStats | None) -> Prediction:
-        pc, kind = record.branch_pc, record.kind
         which, entry = sbb_result
         if stats is not None:
             if which == "u":
@@ -226,77 +244,75 @@ class BranchPredictionUnit:
 
         if which == "u":
             if (kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL)
-                    and entry.payload == record.target):
+                    and entry.payload == target):
                 # FDIP speculated through the BTB miss: the whole point.
                 return Prediction(False, "u", None, True, None)
             # Bogus or aliased entry steered FDIP wrong; decode repairs.
             if stats is not None:
                 stats.sbb_wrong_target += 1
-            self._train_side_predictors(record, stats)
-            return Prediction(False, "u", "decode", False, record.fallthrough,
+            self._train_side_predictors(pc, kind, taken, target, stats)
+            return Prediction(False, "u", "decode", False, fallthrough,
                               "sbb_wrong_target")
 
         # R-SBB: claims "a return lives at pc"; the RAS provides the target.
         if kind is BranchKind.RETURN:
-            correct = self._predict_return(record, stats)
+            correct = self._predict_return(target, stats)
             if correct:
                 return Prediction(False, "r", None, True, None)
-            return Prediction(False, "r", "exec", False, record.fallthrough,
+            return Prediction(False, "r", "exec", False, fallthrough,
                               "ras_mispredict")
         if stats is not None:
             stats.sbb_wrong_target += 1
-        self._train_side_predictors(record, stats)
-        return Prediction(False, "r", "decode", False, record.fallthrough,
+        self._train_side_predictors(pc, kind, taken, target, stats)
+        return Prediction(False, "r", "decode", False, fallthrough,
                           "sbb_wrong_target")
 
     # ------------------------------------------------------------------
     # Case: branch completely unknown to the BPU
     # ------------------------------------------------------------------
 
-    def _process_undetected(self, record: BlockRecord,
+    def _process_undetected(self, pc: int, kind: BranchKind, taken: bool,
+                            target: int, fallthrough: int,
                             stats: SimStats | None) -> Prediction:
         """No BTB or SBB entry: FDIP streams sequentially past the branch."""
-        kind = record.kind
-
         if kind is BranchKind.DIRECT_COND:
             # The decoder discovers the branch and asks the direction
             # predictor.  Correct-not-taken costs nothing (sequential was
             # right); predicted-taken redirects at decode; an undetected
             # taken branch resolves at execute.
-            predicted_taken = self._predict_cond(record.branch_pc,
-                                                 record.taken, stats)
-            if not record.taken:
+            predicted_taken = self._predict_cond(pc, taken, stats)
+            if not taken:
                 # A predicted-taken decode redirect down the taken path is
                 # itself wrong here; execution brings the flow back.
                 if predicted_taken:
                     return Prediction(False, None, "exec", False,
-                                      record.target, "cond_mispredict")
+                                      target, "cond_mispredict")
                 return Prediction(False, None, None, False, None)
             if predicted_taken:
                 return Prediction(False, None, "decode", False,
-                                  record.fallthrough, "undetected_branch")
-            return Prediction(False, None, "exec", False, record.fallthrough,
+                                  fallthrough, "undetected_branch")
+            return Prediction(False, None, "exec", False, fallthrough,
                               "cond_mispredict")
 
         if kind in (BranchKind.DIRECT_UNCOND, BranchKind.CALL):
             # Target computable at decode: early resteer.
-            return Prediction(False, None, "decode", False, record.fallthrough,
+            return Prediction(False, None, "decode", False, fallthrough,
                               "undetected_branch")
 
         if kind is BranchKind.RETURN:
-            correct = self._predict_return(record, stats)
+            correct = self._predict_return(target, stats)
             if correct:
                 return Prediction(False, None, "decode", False,
-                                  record.fallthrough, "undetected_branch")
-            return Prediction(False, None, "exec", False, record.fallthrough,
+                                  fallthrough, "undetected_branch")
+            return Prediction(False, None, "exec", False, fallthrough,
                               "ras_mispredict")
 
         # Indirect: discovered at decode; ITTAGE supplies a target there.
-        correct = self._predict_indirect(record, stats)
+        correct = self._predict_indirect(pc, target, stats)
         if correct:
-            return Prediction(False, None, "decode", False, record.fallthrough,
+            return Prediction(False, None, "decode", False, fallthrough,
                               "undetected_branch")
-        return Prediction(False, None, "exec", False, record.fallthrough,
+        return Prediction(False, None, "exec", False, fallthrough,
                           "indirect_mispredict")
 
     # ------------------------------------------------------------------
@@ -319,20 +335,20 @@ class BranchPredictionUnit:
                 stats.cond_mispredicts += 1
         return predicted
 
-    def _predict_indirect(self, record: BlockRecord,
+    def _predict_indirect(self, pc: int, target: int,
                           stats: SimStats | None) -> bool:
-        predicted = self.ittage.update(record.branch_pc, record.target)
-        correct = predicted == record.target
+        predicted = self.ittage.update(pc, target)
+        correct = predicted == target
         if stats is not None:
             stats.indirect_predictions += 1
             if not correct:
                 stats.indirect_mispredicts += 1
         return correct
 
-    def _predict_return(self, record: BlockRecord,
+    def _predict_return(self, target: int,
                         stats: SimStats | None) -> bool:
         predicted = self.ras.pop()
-        correct = predicted == record.target
+        correct = predicted == target
         if stats is not None:
             stats.ras_predictions += 1
             if predicted is None:
@@ -343,37 +359,38 @@ class BranchPredictionUnit:
                 stats.ras_mispredicts += 1
         return correct
 
-    def _train_side_predictors(self, record: BlockRecord,
+    def _train_side_predictors(self, pc: int, kind: BranchKind, taken: bool,
+                               target: int,
                                stats: SimStats | None) -> None:
         """Keep predictor state consistent on bogus-redirect paths."""
-        if record.kind is BranchKind.DIRECT_COND:
-            self._predict_cond(record.branch_pc, record.taken, stats)
-        elif record.kind is BranchKind.RETURN:
-            self._predict_return(record, stats)
-        elif record.kind.is_indirect:
-            self._predict_indirect(record, stats)
+        if kind is BranchKind.DIRECT_COND:
+            self._predict_cond(pc, taken, stats)
+        elif kind is BranchKind.RETURN:
+            self._predict_return(target, stats)
+        elif kind.is_indirect:
+            self._predict_indirect(pc, target, stats)
 
     # ------------------------------------------------------------------
     # Commit-time updates
     # ------------------------------------------------------------------
 
-    def _commit_updates(self, record: BlockRecord, prediction: Prediction,
+    def _commit_updates(self, pc: int, kind: BranchKind, target: int,
+                        fallthrough: int, prediction: Prediction,
                         stats: SimStats | None) -> None:
-        pc, kind = record.branch_pc, record.kind
         # The decoder inserts every decoded branch into the BTB.  Static
         # targets for direct branches; last target for indirect; returns
         # carry no target (the RAS provides it).
-        target = None
+        btb_target = None
         if kind.is_direct or kind.is_indirect:
-            target = record.target
-        self.btb.insert(pc, kind, target)
+            btb_target = target
+        self.btb.insert(pc, kind, btb_target)
 
         if kind.is_call:
-            self.ras.push(record.fallthrough)
+            self.ras.push(fallthrough)
 
         if (self.comparator is not None
                 and hasattr(self.comparator, "record")):
-            self.comparator.record(pc, kind, target)
+            self.comparator.record(pc, kind, btb_target)
 
         if prediction.used_sbb and self.skia is not None:
             self.skia.mark_retired(pc, prediction.sbb_hit, stats)

@@ -41,6 +41,8 @@ from repro.harness.runner import ExperimentRunner
 from repro.harness.scale import Scale
 from repro.harness.store import ResultStore
 from repro.obs.profiler import PROFILER
+from repro.workloads.cache import WorkloadCache
+from repro.workloads.compiled import compiled_traces_enabled
 
 #: Bump when the payload shape changes; ``compare`` refuses to diff
 #: files with mismatched schema versions.
@@ -112,8 +114,13 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
     PROFILER.enabled = True
     try:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-            # Phase 1: cold — every cell is fresh simulation.
-            cold_runner = ExperimentRunner(scale=scale,
+            # Phase 1: cold — every cell is fresh simulation.  The cold
+            # runner gets a private WorkloadCache so trace generation and
+            # compilation are measured from scratch: ``trace.compile``
+            # fires exactly once per workload per bench run regardless of
+            # what the process did beforehand.
+            cold_cache = WorkloadCache()
+            cold_runner = ExperimentRunner(scale=scale, cache=cold_cache,
                                            store=ResultStore(tmp))
             figure_out: dict[str, dict] = {}
             total_cycles = 0.0
@@ -127,6 +134,7 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
                 figure_out[name] = {"seconds": round(seconds, 4),
                                     "cells": len(cells)}
             cache_rates = _decode_cache_rates(cold_runner, all_cells)
+            compiled_stats = cold_cache.stats()["compiled"]
 
             # Phase 2: warm — the grid replays out of the filled store.
             warm_store = ResultStore(tmp)
@@ -166,6 +174,13 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
                 _hit_rate(warm_store.hits, warm_store.misses), 6),
             "store_hits": warm_store.hits,
             "store_misses": warm_store.misses,
+            # Additive since schema 1: cold-phase compiled-trace reuse.
+            # One miss per distinct workload (the single compilation),
+            # everything else hits -- unless the layer is disabled.
+            "compiled_traces_enabled": compiled_traces_enabled(),
+            "compiled_trace_hit_rate": round(compiled_stats.hit_rate, 6),
+            "compiled_trace_hits": compiled_stats.hits,
+            "compiled_trace_misses": compiled_stats.misses,
         },
         "profiler": profiler_snapshot,
     }
@@ -204,6 +219,23 @@ def latest_bench_file(root: str | os.PathLike = ".") -> Path | None:
 # Comparison
 # ----------------------------------------------------------------------
 
+class BenchSchemaMismatch(ValueError):
+    """Two bench files use different payload schemas.
+
+    Not a performance regression: the files cannot be meaningfully
+    diffed at all.  Carries both versions so callers can print a
+    diagnostic (the CLI exits 2 with one) instead of either a spurious
+    gate trip or a ``KeyError`` traceback from missing payload keys.
+    """
+
+    def __init__(self, before_schema, after_schema):
+        self.before_schema = before_schema
+        self.after_schema = after_schema
+        super().__init__(
+            f"bench schema mismatch: before={before_schema!r} "
+            f"after={after_schema!r}")
+
+
 def compare_bench(before: Mapping, after: Mapping,
                   threshold_pct: float = DEFAULT_THRESHOLD_PCT,
                   figure_threshold_pct: float | None = None,
@@ -214,7 +246,9 @@ def compare_bench(before: Mapping, after: Mapping,
     the cold-run throughput (records/sec); ``figure_threshold_pct``,
     when given, additionally gates each figure group's wall-clock.
     Hit-rate and profiler changes are reported but never gate (they are
-    host-load sensitive).
+    host-load sensitive).  Raises :class:`BenchSchemaMismatch` when the
+    schema versions differ -- incomparable files are a usage error, not
+    a regression.
     """
     regressions: list[str] = []
     lines: list[str] = []
@@ -222,9 +256,7 @@ def compare_bench(before: Mapping, after: Mapping,
     before_schema = before.get("schema_version")
     after_schema = after.get("schema_version")
     if before_schema != after_schema:
-        regressions.append(
-            f"schema_version mismatch: {before_schema} vs {after_schema}")
-        return regressions, regressions[:]
+        raise BenchSchemaMismatch(before_schema, after_schema)
 
     if before.get("scale") != after.get("scale"):
         lines.append(f"note: comparing different scales "

@@ -12,10 +12,20 @@ program generation, same trace, same simulator seed -- so ``jobs>1``
 results are bit-identical to ``jobs=1``.  Serial execution stays the
 default (``jobs=1`` never spawns a pool).
 
-Worker count comes from ``REPRO_JOBS`` (``0`` or unset means
-``os.cpu_count()`` when parallelism is requested).  Workers share the
-persistent :mod:`~repro.harness.store` when one is configured, so a cell
-simulated by any worker is on disk for every later process.
+Worker count comes from ``REPRO_JOBS`` (``0`` or unset means the CPUs
+*available to this process* -- ``os.process_cpu_count()`` semantics, not
+the machine total).  Workers share the persistent
+:mod:`~repro.harness.store` when one is configured, so a cell simulated
+by any worker is on disk for every later process.
+
+Traces cross the process boundary zero-copy: the parent compiles each
+distinct (workload, seed, bolted) trace once into flat
+:class:`~repro.workloads.compiled.CompiledTrace` columns, publishes the
+buffer through ``multiprocessing.shared_memory`` (or a cache-directory
+spill file where ``/dev/shm`` is unavailable), and ships only the
+segment *name* in the task tuple.  Workers attach read-only views and
+memoise the attachment, so a grid run generates and compiles each trace
+exactly once per host instead of once per worker.
 """
 
 from __future__ import annotations
@@ -61,8 +71,25 @@ class Cell:
                 config_key(self.config))
 
 
+def available_cpus() -> int:
+    """CPUs *usable by this process* (cgroup/affinity aware).
+
+    ``os.process_cpu_count`` (3.13+) when present; otherwise the
+    scheduling affinity mask, falling back to the machine total only
+    when neither is available.  Sizing pools by the machine total
+    oversubscribes containers and ``taskset``-restricted CI runners.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        return counter() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS``; 0/unset means all CPUs."""
+    """Worker count from ``REPRO_JOBS``; 0/unset means available CPUs."""
     raw = os.environ.get("REPRO_JOBS", "").strip()
     if raw:
         try:
@@ -72,7 +99,7 @@ def default_jobs() -> int:
                 f"REPRO_JOBS={raw!r}; expected an integer") from None
         if jobs > 0:
             return jobs
-    return os.cpu_count() or 1
+    return available_cpus()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -82,16 +109,41 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+#: Per-worker memo of attached compiled traces, keyed by shared ref.
+#: A pool worker serves many cells of the same workload; attaching once
+#: and reusing the views keeps the per-cell cost at dictionary lookup.
+_ATTACHED_TRACES: dict[tuple[str, str], "object"] = {}
+
+
+def _attached_trace(trace_ref: tuple[str, str]):
+    """Attach (memoised) the parent's published compiled trace."""
+    from repro.workloads.compiled import CompiledTrace
+
+    cached = _ATTACHED_TRACES.get(trace_ref)
+    if cached is None or cached.closed:
+        cached = CompiledTrace.attach(trace_ref)
+        _ATTACHED_TRACES[trace_ref] = cached
+    return cached
+
+
 def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
                   bolted: bool, scale: Scale,
                   store_root: str | None = None,
-                  record_attribution: bool = False) -> SimStats:
+                  record_attribution: bool = False,
+                  trace_ref: tuple[str, str] | None = None) -> SimStats:
     """Run one cell exactly as the serial runner would.
 
     Module-level so it pickles into pool workers.  Consults/fills the
     persistent store when ``store_root`` is given; uses the per-process
     workload cache so cells sharing a (workload, seed) reuse programs and
     traces within a worker.
+
+    ``trace_ref`` is the parent's published compiled trace (see
+    :meth:`~repro.workloads.compiled.CompiledTrace.shared_ref`): when
+    given, the worker attaches the shared columns -- zero-copy, memoised
+    per worker -- instead of re-generating the trace.  Without a ref the
+    worker compiles locally (or replays object records when compiled
+    traces are disabled); all three paths are bit-identical.
 
     With ``record_attribution`` the per-branch/per-line attribution
     artifact is persisted alongside the stats; a store hit whose entry
@@ -102,6 +154,7 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
     """
     from repro.frontend.engine import FrontEndSimulator
     from repro.workloads.cache import GLOBAL_CACHE
+    from repro.workloads.compiled import compiled_traces_enabled
 
     with PROFILER.section("harness.cell"):
         store = ResultStore(store_root) if store_root else None
@@ -113,16 +166,34 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
                     record_attribution
                     and store.get_attribution(key) is None):
                 return cached
+        use_compiled = compiled_traces_enabled()
+        compiled = None
+        trace = None
         with PROFILER.section("harness.workload"):
             program = GLOBAL_CACHE.program(workload, seed=seed,
                                            bolted=bolted)
-            trace = GLOBAL_CACHE.trace(workload, scale.records, seed=seed,
-                                       bolted=bolted)
+            if use_compiled and trace_ref is not None:
+                try:
+                    compiled = _attached_trace(trace_ref)
+                except (FileNotFoundError, OSError, ValueError):
+                    # The parent's segment/spill vanished (e.g. evicted
+                    # mid-batch); fall back to compiling locally.
+                    compiled = None
+            if use_compiled and compiled is None:
+                compiled = GLOBAL_CACHE.compiled(
+                    workload, scale.records, seed=seed, bolted=bolted)
+            if not use_compiled:
+                trace = GLOBAL_CACHE.trace(workload, scale.records,
+                                           seed=seed, bolted=bolted)
         with PROFILER.section("harness.simulate"):
             simulator = FrontEndSimulator(program, config, seed=seed)
             if record_attribution:
                 simulator.attach_attribution()
-            stats = simulator.run(trace, warmup=scale.warmup)
+            if compiled is not None:
+                stats = simulator.run_compiled(compiled,
+                                               warmup=scale.warmup)
+            else:
+                stats = simulator.run(trace, warmup=scale.warmup)
         if store is not None:
             # Persist the metric snapshot next to the result so serial and
             # parallel runs surface identical per-component counters.
@@ -159,6 +230,43 @@ class ParallelRunner:
     def _store_root(self) -> str | None:
         return None if self.store is None else str(self.store.root)
 
+    def _publish_traces(self, ordered: Sequence[tuple[tuple, Cell]],
+                        workers: int) -> dict[tuple, tuple[str, str]]:
+        """Compile + publish each distinct trace once, parent-side.
+
+        Returns ``{(workload, seed, bolted): shared_ref}`` for every
+        trace at least one pool worker will actually replay.  Groups
+        whose cells are all already in the persistent store are skipped
+        (workers short-circuit on the store before touching the trace),
+        as is the whole step for in-process execution -- the worker path
+        then reads the process-local cache directly.  Segments are owned
+        by the global workload cache, so their lifetime follows normal
+        LRU eviction rather than this batch.
+        """
+        from repro.workloads.cache import GLOBAL_CACHE
+        from repro.workloads.compiled import compiled_traces_enabled
+
+        if workers <= 1 or not compiled_traces_enabled():
+            return {}
+        needed: dict[tuple, Cell] = {}
+        for _, cell in ordered:
+            group = (cell.workload, cell.seed, cell.bolted)
+            if group in needed:
+                continue
+            if self.store is not None:
+                key = result_key(cell.workload, cell.config, cell.seed,
+                                 self.scale, bolted=cell.bolted)
+                if self.store.contains(key) and not self.record_attribution:
+                    continue
+            needed[group] = cell
+        refs: dict[tuple, tuple[str, str]] = {}
+        for group, cell in needed.items():
+            compiled = GLOBAL_CACHE.compiled(
+                cell.workload, self.scale.records, seed=cell.seed,
+                bolted=cell.bolted)
+            refs[group] = compiled.shared_ref()
+        return refs
+
     def run_batch(self, cells: Sequence[Cell],
                   default_seed: int = 0) -> list[SimStats]:
         """Simulate ``cells``; returns stats aligned with the input.
@@ -177,11 +285,13 @@ class ParallelRunner:
             unique.items(),
             key=lambda item: (item[1].workload, item[1].seed,
                               item[1].bolted))
+        workers = min(self.jobs, len(ordered)) if ordered else 0
+        trace_refs = self._publish_traces(ordered, workers)
         packed = [(cell.workload, cell.config, cell.seed, cell.bolted,
-                   self.scale, self._store_root, self.record_attribution)
+                   self.scale, self._store_root, self.record_attribution,
+                   trace_refs.get((cell.workload, cell.seed, cell.bolted)))
                   for _, cell in ordered]
 
-        workers = min(self.jobs, len(packed)) if packed else 0
         if workers <= 1:
             stats_list = [_simulate_packed(item) for item in packed]
         else:

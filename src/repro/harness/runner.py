@@ -30,6 +30,7 @@ from repro.harness.scale import Scale, current_scale
 from repro.harness.store import ResultStore, config_key, default_store
 from repro.obs.profiler import PROFILER
 from repro.workloads.cache import GLOBAL_CACHE, WorkloadCache
+from repro.workloads.compiled import compiled_traces_enabled
 
 __all__ = ["ExperimentRunner", "config_key"]
 
@@ -170,16 +171,26 @@ class ExperimentRunner:
                         # re-simulate to backfill it.
                     else:
                         return stored, self.store.get_metrics(store_key)
+            use_compiled = compiled_traces_enabled()
             with PROFILER.section("harness.workload"):
                 program = self.cache.program(workload, seed=seed,
                                              bolted=bolted)
-                trace = self.cache.trace(workload, self.scale.records,
-                                         seed=seed, bolted=bolted)
+                if use_compiled:
+                    compiled = self.cache.compiled(
+                        workload, self.scale.records, seed=seed,
+                        bolted=bolted)
+                else:
+                    trace = self.cache.trace(workload, self.scale.records,
+                                             seed=seed, bolted=bolted)
             with PROFILER.section("harness.simulate"):
                 simulator = FrontEndSimulator(program, config, seed=seed)
                 if self.record_attribution:
                     simulator.attach_attribution()
-                stats = simulator.run(trace, warmup=self.scale.warmup)
+                if use_compiled:
+                    stats = simulator.run_compiled(
+                        compiled, warmup=self.scale.warmup)
+                else:
+                    stats = simulator.run(trace, warmup=self.scale.warmup)
                 metrics = simulator.metrics_snapshot()
             attribution = None
             if self.record_attribution:

@@ -182,6 +182,15 @@ class ResultStore:
         return result_key(workload, config, seed, scale, bolted=bolted,
                           version=version)
 
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no parse, no hit/miss accounting).
+
+        Used by the batch dispatcher to decide whether a workload's
+        compiled trace must be published to workers at all; ``get`` is
+        still the authority on readability.
+        """
+        return self._path(key).is_file()
+
     def get(self, key: str) -> SimStats | None:
         path = self._path(key)
         with PROFILER.section("store.get"):

@@ -28,7 +28,13 @@ from repro.workloads.profiles import (
     get_profile,
 )
 from repro.workloads.bolt import bolt_optimize
-from repro.workloads.cache import WorkloadCache, build_program, build_trace
+from repro.workloads.cache import (
+    WorkloadCache,
+    build_compiled_trace,
+    build_program,
+    build_trace,
+)
+from repro.workloads.compiled import CompiledTrace, compile_trace
 from repro.workloads.analysis import characterise, shadow_geometry
 from repro.workloads.traceio import load_trace, save_trace
 
@@ -45,6 +51,9 @@ __all__ = [
     "get_profile",
     "bolt_optimize",
     "WorkloadCache",
+    "CompiledTrace",
+    "compile_trace",
+    "build_compiled_trace",
     "build_program",
     "build_trace",
     "characterise",

@@ -9,6 +9,7 @@ Used for calibration reports and by the workload-characterisation tests.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -159,11 +160,11 @@ def shadow_positions(program: Program) -> list[ShadowPosition]:
                    for earlier_exit in exits[max(0, exit_index - 8):
                                              exit_index])
         # Head candidate: some block entry in the same line lies after
-        # this branch's end.
+        # this branch's end.  ``entries`` is sorted and ``end > line``,
+        # so "any entry in [end, line_end)" is a bisect range check.
         end = terminator.pc + terminator.length
         line_end = line + LINE_SIZE
-        head = any(end <= entry < line_end for entry in entries
-                   if line <= entry)
+        head = bisect_left(entries, end) < bisect_left(entries, line_end)
         positions.append(ShadowPosition(
             pc=terminator.pc, kind=terminator.kind, head=head, tail=tail,
             eligible=terminator.kind.sbb_eligible))

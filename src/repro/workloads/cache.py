@@ -14,23 +14,30 @@ from __future__ import annotations
 from repro.caching import CacheStats, LRUCache
 from repro.workloads.bolt import bolt_optimize
 from repro.workloads.codegen import ProgramGenerator
+from repro.workloads.compiled import DEFAULT_LINE_SIZES, CompiledTrace
 from repro.workloads.profiles import get_profile
 from repro.workloads.program import Program
 from repro.workloads.trace import BlockRecord, TraceGenerator
 
 
 class WorkloadCache:
-    """Caches programs and materialised traces.
+    """Caches programs, materialised traces and compiled traces.
 
     Programs are small and kept unbounded; traces are large, so only the
     ``max_traces`` most recently *used* survive (genuine LRU: a cache hit
-    refreshes the trace's recency).  Both caches count hits, misses and
+    refreshes the trace's recency).  Compiled traces share the same bound
+    and additionally own OS resources (shared-memory segments once
+    published), so eviction *closes* them -- no ``/dev/shm`` handle
+    outlives its cache entry.  All caches count hits, misses and
     evictions -- see :meth:`stats`.
     """
 
     def __init__(self, max_traces: int = 4):
         self._programs = LRUCache(maxsize=None)
         self._traces = LRUCache(maxsize=max_traces)
+        self._compiled = LRUCache(
+            maxsize=max_traces,
+            on_evict=lambda _key, trace: trace.close())
         self._max_traces = max_traces
 
     def program(self, workload: str, seed: int = 0,
@@ -59,14 +66,43 @@ class WorkloadCache:
             self._traces[key] = cached
         return cached
 
+    def compiled(self, workload: str, n_records: int, seed: int = 0,
+                 trace_seed: int = 0, bolted: bool = False,
+                 ) -> CompiledTrace:
+        """The flat-array lowering of :meth:`trace` (memoised).
+
+        Key and content are exactly the object trace's: compiling the
+        cached record list yields byte-identical columns for the same
+        (program, seed) in any process.  Line-size-dependent derived
+        columns are precomputed for the stock 64-byte lines and derived
+        lazily (and memoised per instance) for any other size.
+        """
+        key = (workload, seed, bolted, trace_seed, n_records)
+        cached = self._compiled.get(key)
+        if cached is None or cached.closed:
+            records = self.trace(workload, n_records, seed=seed,
+                                 trace_seed=trace_seed, bolted=bolted)
+            cached = CompiledTrace.from_records(
+                records, line_sizes=DEFAULT_LINE_SIZES)
+            self._compiled[key] = cached
+        return cached
+
     def stats(self) -> dict[str, CacheStats]:
-        """Hit/miss/eviction counters for the program and trace caches."""
+        """Hit/miss/eviction counters for all three caches."""
         return {"programs": self._programs.stats,
-                "traces": self._traces.stats}
+                "traces": self._traces.stats,
+                "compiled": self._compiled.stats}
 
     def clear(self) -> None:
         self._programs.clear()
         self._traces.clear()
+        # LRUCache.clear does not run eviction callbacks; close the
+        # compiled traces first so shared-memory segments are released.
+        for key in list(self._compiled):
+            trace = self._compiled.peek(key)
+            if trace is not None:
+                trace.close()
+        self._compiled.clear()
 
 
 #: Process-wide default cache used by the harness.
@@ -83,3 +119,11 @@ def build_trace(workload: str, n_records: int, seed: int = 0,
     """Convenience accessor against the global cache."""
     return GLOBAL_CACHE.trace(workload, n_records, seed=seed,
                               trace_seed=trace_seed, bolted=bolted)
+
+
+def build_compiled_trace(workload: str, n_records: int, seed: int = 0,
+                         trace_seed: int = 0,
+                         bolted: bool = False) -> CompiledTrace:
+    """Convenience accessor against the global cache."""
+    return GLOBAL_CACHE.compiled(workload, n_records, seed=seed,
+                                 trace_seed=trace_seed, bolted=bolted)

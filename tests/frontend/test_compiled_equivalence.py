@@ -1,0 +1,102 @@
+"""Bit-identity of the compiled fast path against the object path.
+
+The contract behind every other compiled-trace feature: for any cell of
+the Figure-14 grid, ``FrontEndSimulator.run_compiled`` must produce the
+same ``SimStats``, the same metric snapshot, the same event stream and a
+byte-for-byte identical attribution artifact as ``run`` over the object
+records -- and the harness's serial/parallel/zero-copy plumbing must
+preserve that.  CI runs this module as its own job.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.frontend.engine import FrontEndSimulator
+from repro.harness.parallel import Cell, ParallelRunner
+from repro.harness.scale import Scale
+from repro.obs import EventTrace
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    build_program,
+    build_trace,
+    compile_trace,
+)
+
+RECORDS = 1_000
+WARMUP = 150
+
+#: The four Figure-14 configurations: FDIP baseline, Skia with only one
+#: shadow-branch half enabled, and full Skia.
+CONFIGS = {
+    "base": FrontEndConfig(),
+    "head": FrontEndConfig(skia=SkiaConfig(decode_tails=False)),
+    "tail": FrontEndConfig(skia=SkiaConfig(decode_heads=False)),
+    "both": FrontEndConfig(skia=SkiaConfig()),
+}
+
+
+def _run(program, records_or_compiled, config, compiled: bool):
+    simulator = FrontEndSimulator(program, config, seed=0)
+    trace = EventTrace()
+    simulator.attach_trace(trace)
+    aggregator = simulator.attach_attribution()
+    if compiled:
+        stats = simulator.run_compiled(records_or_compiled, warmup=WARMUP)
+    else:
+        stats = simulator.run(records_or_compiled, warmup=WARMUP)
+    artifact = json.dumps(aggregator.to_jsonable(), sort_keys=True).encode()
+    return (dataclasses.asdict(stats), simulator.metrics_snapshot(),
+            trace.events(), artifact)
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_fig14_grid_bit_identity(workload):
+    """Every (workload, config) cell: object path == compiled path."""
+    program = build_program(workload, seed=0)
+    records = build_trace(workload, RECORDS, seed=0)
+    compiled = compile_trace(records)
+    for name, config in CONFIGS.items():
+        obj_stats, obj_metrics, obj_events, obj_artifact = _run(
+            program, records, config, compiled=False)
+        cmp_stats, cmp_metrics, cmp_events, cmp_artifact = _run(
+            program, compiled, config, compiled=True)
+        assert cmp_stats == obj_stats, (workload, name)
+        assert cmp_metrics == obj_metrics, (workload, name)
+        assert cmp_events == obj_events, (workload, name)
+        assert cmp_artifact == obj_artifact, (workload, name)
+
+
+class TestHarnessPaths:
+    """The runner plumbing keeps the identity end to end."""
+
+    SCALE = Scale("equiv", records=RECORDS, warmup=WARMUP)
+    CELLS = [Cell(workload, config, 0, False)
+             for workload in WORKLOAD_NAMES[:2]
+             for config in CONFIGS.values()]
+
+    def _object_path_stats(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COMPILED_TRACES", "1")
+        try:
+            runner = ParallelRunner(scale=self.SCALE, jobs=1, store=None)
+            return runner.run_batch(self.CELLS)
+        finally:
+            monkeypatch.delenv("REPRO_NO_COMPILED_TRACES")
+
+    def test_serial_compiled_matches_object_path(self, monkeypatch):
+        reference = self._object_path_stats(monkeypatch)
+        runner = ParallelRunner(scale=self.SCALE, jobs=1, store=None)
+        compiled = runner.run_batch(self.CELLS)
+        for expect, got, cell in zip(reference, compiled, self.CELLS):
+            assert dataclasses.asdict(got) == dataclasses.asdict(expect), \
+                cell
+
+    def test_parallel_zero_copy_matches_object_path(self, monkeypatch):
+        reference = self._object_path_stats(monkeypatch)
+        runner = ParallelRunner(scale=self.SCALE, jobs=2, store=None)
+        compiled = runner.run_batch(self.CELLS)
+        for expect, got, cell in zip(reference, compiled, self.CELLS):
+            assert dataclasses.asdict(got) == dataclasses.asdict(expect), \
+                cell

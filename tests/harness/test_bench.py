@@ -9,6 +9,7 @@ from repro.cli import build_parser, main
 from repro.harness import bench
 from repro.harness.bench import (
     BENCH_SCHEMA_VERSION,
+    BenchSchemaMismatch,
     bench_grid,
     compare_bench,
     latest_bench_file,
@@ -60,6 +61,22 @@ class TestRun:
         sections = payload["profiler"]
         assert "harness.simulate" in sections
         assert sections["harness.cell"]["calls"] >= 6
+
+    def test_compiled_trace_fields(self, bench_run):
+        payload, _ = bench_run
+        caches = payload["caches"]
+        assert caches["compiled_traces_enabled"] is True
+        # One compilation (miss) for the single workload; every other
+        # cold cell reuses it.
+        assert caches["compiled_trace_misses"] == 1
+        assert caches["compiled_trace_hits"] == 5
+        assert caches["compiled_trace_hit_rate"] == pytest.approx(5 / 6)
+
+    def test_trace_compile_fires_once_per_workload(self, bench_run):
+        payload, _ = bench_run
+        sections = payload["profiler"]
+        # Single bench workload -> exactly one compilation per run.
+        assert sections["trace.compile"]["calls"] == 1
 
     def test_file_written_atomically(self, bench_run):
         payload, path = bench_run
@@ -115,12 +132,14 @@ class TestCompare:
                                        figure_threshold_pct=50.0)
         assert any("fig14_grid" in r for r in regressions)
 
-    def test_schema_mismatch_is_a_regression(self, bench_run):
+    def test_schema_mismatch_raises(self, bench_run):
         payload, _ = bench_run
         other = copy.deepcopy(payload)
         other["schema_version"] = BENCH_SCHEMA_VERSION + 1
-        regressions, _ = compare_bench(payload, other)
-        assert regressions and "schema_version" in regressions[0]
+        with pytest.raises(BenchSchemaMismatch) as excinfo:
+            compare_bench(payload, other)
+        assert excinfo.value.before_schema == BENCH_SCHEMA_VERSION
+        assert excinfo.value.after_schema == BENCH_SCHEMA_VERSION + 1
 
     def test_hit_rate_changes_inform_but_never_gate(self, bench_run):
         payload, _ = bench_run
@@ -162,6 +181,21 @@ class TestCli:
         assert main(["bench", "compare", str(path), str(doctored)]) == 1
         out = capsys.readouterr().out
         assert "REGRESSION" in out
+
+    def test_compare_schema_mismatch_is_a_diagnostic(self, bench_run,
+                                                     tmp_path, capsys):
+        payload, path = bench_run
+        future = copy.deepcopy(payload)
+        future["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        doctored = tmp_path / "BENCH_future.json"
+        doctored.write_text(json.dumps(future), encoding="utf-8")
+
+        code = main(["bench", "compare", str(path), str(doctored)])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "schema" in out
+        assert str(BENCH_SCHEMA_VERSION + 1) in out
+        assert "Traceback" not in out
 
     def test_compare_without_baseline_is_first_run(self, bench_run,
                                                    tmp_path, capsys):

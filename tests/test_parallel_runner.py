@@ -16,7 +16,12 @@ import pytest
 
 from repro.frontend.config import FrontEndConfig, SkiaConfig
 from repro.frontend.stats import SimStats
-from repro.harness.parallel import Cell, ParallelRunner, default_jobs
+from repro.harness.parallel import (
+    Cell,
+    ParallelRunner,
+    available_cpus,
+    default_jobs,
+)
 from repro.harness.runner import ExperimentRunner, config_key
 from repro.harness.scale import Scale
 from repro.harness.store import (
@@ -94,9 +99,23 @@ class TestJobsResolution:
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert default_jobs() == 3
 
-    def test_default_jobs_zero_means_cpu_count(self, monkeypatch):
+    def test_default_jobs_zero_means_available_cpus(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "0")
-        assert default_jobs() >= 1
+        assert default_jobs() == available_cpus() >= 1
+
+    def test_unset_means_available_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == available_cpus()
+
+    def test_available_cpus_is_affinity_aware(self):
+        # Never more than the machine total; at least one.
+        import os
+        assert 1 <= available_cpus() <= (os.cpu_count() or 1)
+        counter = getattr(os, "process_cpu_count", None)
+        if counter is not None:  # 3.13+
+            assert available_cpus() == (counter() or 1)
+        else:
+            assert available_cpus() == len(os.sched_getaffinity(0))
 
     def test_default_jobs_invalid(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "lots")
@@ -107,6 +126,70 @@ class TestJobsResolution:
         # Even with REPRO_JOBS set, an explicit jobs=1 stays serial.
         monkeypatch.setenv("REPRO_JOBS", "8")
         assert ParallelRunner(scale=TINY, jobs=1, store=None).jobs == 1
+
+
+# ----------------------------------------------------------------------
+# (a') zero-copy compiled-trace distribution
+# ----------------------------------------------------------------------
+
+class TestZeroCopyDistribution:
+    def test_publish_skipped_for_serial(self):
+        runner = ParallelRunner(scale=TINY, jobs=1, store=None)
+        ordered = [(cell.resolved(0).identity(TINY), cell.resolved(0))
+                   for cell in GRID]
+        assert runner._publish_traces(ordered, workers=1) == {}
+
+    def test_publish_skipped_when_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COMPILED_TRACES", "1")
+        runner = ParallelRunner(scale=TINY, jobs=2, store=None)
+        ordered = [(cell.resolved(0).identity(TINY), cell.resolved(0))
+                   for cell in GRID]
+        assert runner._publish_traces(ordered, workers=2) == {}
+
+    def test_publish_one_ref_per_workload(self):
+        runner = ParallelRunner(scale=TINY, jobs=2, store=None)
+        ordered = [(cell.resolved(0).identity(TINY), cell.resolved(0))
+                   for cell in GRID]
+        refs = runner._publish_traces(ordered, workers=2)
+        assert set(refs) == {(workload, 0, False)
+                             for workload in WORKLOADS}
+        for kind, _ in refs.values():
+            assert kind in ("shm", "file")
+
+    def test_publish_skips_fully_stored_groups(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        # Pre-fill every cell of one workload.
+        for config in CONFIGS:
+            store.put(result_key("noop", config, 0, TINY), make_stats())
+        runner = ParallelRunner(scale=TINY, jobs=2, store=store)
+        ordered = [(cell.resolved(0).identity(TINY), cell.resolved(0))
+                   for cell in GRID]
+        refs = runner._publish_traces(ordered, workers=2)
+        assert ("noop", 0, False) not in refs
+        assert ("voter", 0, False) in refs
+
+    def test_worker_falls_back_when_ref_vanishes(self):
+        """A dead ref must not fail the cell -- local compile instead."""
+        from repro.harness.parallel import simulate_cell
+
+        serial = simulate_cell("noop", CONFIGS[0], 0, False, TINY)
+        via_dead_ref = simulate_cell(
+            "noop", CONFIGS[0], 0, False, TINY,
+            trace_ref=("shm", "repro_ctrace_gone_000000000000"))
+        assert via_dead_ref == serial
+
+    def test_worker_attach_memoised(self, micro_trace):
+        from repro.harness.parallel import _ATTACHED_TRACES, _attached_trace
+        from repro.workloads.compiled import compile_trace
+
+        published = compile_trace(micro_trace[:200])
+        ref = published.shared_ref()
+        try:
+            first = _attached_trace(ref)
+            assert _attached_trace(ref) is first
+        finally:
+            _ATTACHED_TRACES.pop(ref, None)
+            published.close()
 
 
 # ----------------------------------------------------------------------
