@@ -163,3 +163,57 @@ def test_engine_with_skia_blocks_per_second(benchmark, program, trace):
                           FrontEndConfig(skia=SkiaConfig())).run(trace)
 
     benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_batched_kernel_speedup_gate(benchmark, program, trace):
+    """Hard floor: the batched lane kernel must stay >= 2x the object
+    replay loop on the Figure-14 configuration set.
+
+    Measured *warm* (decode tables and fused lane rows pre-built): a
+    grid sweep builds each trace's tables once and replays them across
+    hundreds of cells, so steady-state replay is what the kernel is for
+    -- and what must not regress.  Both paths are timed interleaved,
+    min-of-3, in this same process; the ratio is stable (+-2%) even when
+    absolute host timings wander.
+    """
+    import time as _time
+
+    from repro.frontend.batch import BatchedFrontEndSimulator
+    from repro.workloads import compile_trace
+
+    compiled = compile_trace(trace)
+    configs = [FrontEndConfig(),
+               FrontEndConfig(skia=SkiaConfig(decode_tails=False)),
+               FrontEndConfig(skia=SkiaConfig(decode_heads=False)),
+               FrontEndConfig(skia=SkiaConfig())]
+    warmup = 500
+
+    def object_grid():
+        for config in configs:
+            FrontEndSimulator(program, config, seed=0).run(trace,
+                                                           warmup=warmup)
+
+    def batched_grid():
+        batch = BatchedFrontEndSimulator()
+        for config in configs:
+            batch.add_lane(FrontEndSimulator(program, config, seed=0),
+                           compiled, warmup=warmup)
+        batch.run()
+
+    object_grid()
+    batched_grid()  # warm decode tables + lane rows
+    object_s, batched_s = [], []
+    for _ in range(3):
+        start = _time.perf_counter()
+        object_grid()
+        object_s.append(_time.perf_counter() - start)
+        start = _time.perf_counter()
+        batched_grid()
+        batched_s.append(_time.perf_counter() - start)
+    ratio = min(object_s) / min(batched_s)
+    benchmark.extra_info["speedup_vs_object"] = round(ratio, 3)
+    benchmark.pedantic(batched_grid, rounds=2, iterations=1)
+    assert ratio >= 2.0, (
+        f"batched kernel only {ratio:.2f}x the object path "
+        f"(object {min(object_s):.3f}s, batched {min(batched_s):.3f}s); "
+        f"the floor is 2x")

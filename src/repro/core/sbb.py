@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.frontend.config import SkiaConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class SBBEntry:
     """One SBB entry; ``payload`` is the target (U) or line offset (R)."""
 

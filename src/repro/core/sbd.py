@@ -46,6 +46,16 @@ A shorter decode limit can only turn a full-line decode result into
 whose length fits below the entry offset is byte-for-byte what a
 limit-at-entry decode would produce; the length-vector filter encodes
 exactly that.
+
+Behind the per-decoder caches sits a fourth layer: the process-wide
+:mod:`repro.core.decode_tables` registry, content-addressed by image
+digest.  Every decode result is a pure function of the image bytes (plus
+the head policy), so decoders built over the same program -- one per
+(workload, config) grid cell -- share results instead of each paying the
+byte-by-byte decode.  The per-decoder LRU caches still see exactly the
+same get/put sequence either way (their counters are part of the metric
+snapshots the bit-exactness suite compares); sharing only changes what a
+*miss* costs.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.caching import CacheStats, LRUCache
+from repro.core.decode_tables import shared_tables
 from repro.isa.branch import BranchKind
 from repro.isa.decoder import decode_at
 from repro.frontend.config import IndexPolicy, SkiaConfig
@@ -100,7 +111,8 @@ class ShadowBranchDecoder:
     def __init__(self, image: bytes, base_address: int,
                  config: SkiaConfig, line_size: int = 64,
                  line_cache_lines: int | None = DEFAULT_LINE_CACHE_LINES,
-                 result_memo_size: int | None = DEFAULT_RESULT_MEMO_SIZE):
+                 result_memo_size: int | None = DEFAULT_RESULT_MEMO_SIZE,
+                 shared: bool = True):
         self.image = image
         self.base_address = base_address
         self.config = config
@@ -108,6 +120,20 @@ class ShadowBranchDecoder:
         self._head_memo = LRUCache(maxsize=result_memo_size)
         self._tail_memo = LRUCache(maxsize=result_memo_size)
         self._line_cache = LRUCache(maxsize=line_cache_lines)
+        # Process-wide backing store (repro.core.decode_tables): misses
+        # another decoder over the same image already computed become
+        # dict reads.  ``shared=False`` keeps a decoder fully isolated
+        # (tests that probe the raw decode path use it).
+        if shared:
+            tables = shared_tables(image, base_address, line_size)
+            self._shared_lines = tables.lines
+            self._shared_tails = tables.tails
+            self._shared_heads = tables.heads_for(
+                config.max_valid_paths, config.index_policy)
+        else:
+            self._shared_lines = None
+            self._shared_tails = None
+            self._shared_heads = None
 
     def cache_stats(self) -> dict[str, CacheStats]:
         """Hit/miss/eviction counters for the three decode caches."""
@@ -143,17 +169,32 @@ class ShadowBranchDecoder:
         cached = self._line_cache.get(line)
         if cached is not None:
             return cached
-        # Profiled on misses only: the hot path (a warm cache) stays free.
-        with PROFILER.section("sbd.line_decode"):
-            image_base = line - self.base_address
-            limit = min(image_base + self.line_size, len(self.image))
-            decodes = [
-                decode_at(self.image, image_base + offset,
-                          pc=line + offset, limit=limit)
-                for offset in range(self.line_size)
-            ]
+        shared = self._shared_lines
+        decodes = None if shared is None else shared.get(line)
+        if decodes is None:
+            decodes = self._compute_line_decodes(line)
+            if shared is not None:
+                shared[line] = decodes
         self._line_cache[line] = decodes
         return decodes
+
+    def _compute_line_decodes(self, line: int) -> list:
+        # Profiled on shared-table misses only -- each line of an image
+        # decodes once per process -- and only when the profiler is on,
+        # so the disabled path pays nothing (tests/obs/test_overhead.py).
+        if PROFILER.enabled:
+            with PROFILER.section("sbd.line_decode"):
+                return self._decode_line(line)
+        return self._decode_line(line)
+
+    def _decode_line(self, line: int) -> list:
+        image_base = line - self.base_address
+        limit = min(image_base + self.line_size, len(self.image))
+        return [
+            decode_at(self.image, image_base + offset,
+                      pc=line + offset, limit=limit)
+            for offset in range(self.line_size)
+        ]
 
     # ------------------------------------------------------------------
     # Tail decoding
@@ -173,9 +214,34 @@ class ShadowBranchDecoder:
         key = (last_line, exit_pc - last_line)
         memo = self._tail_memo.get(key)
         if memo is None:
+            memo = self._tail_missing(key, exit_pc, line_end)
+            self._tail_memo[key] = memo
+        return memo
+
+    def _tail_missing(self, key: tuple[int, int], exit_pc: int,
+                      line_end: int) -> TailDecodeResult:
+        """Resolve a tail-memo miss: shared table first, then sweep.
+
+        On a shared hit the line vector a local sweep would have read is
+        still touched through :meth:`_line_decodes`, so the per-decoder
+        line-cache counters follow the exact sequence of a cold decoder
+        (the metric snapshots are compared bit-for-bit across engines).
+        """
+        shared = self._shared_tails
+        if shared is not None:
+            memo = shared.get(key)
+            if memo is not None:
+                offset = exit_pc - self.base_address
+                if 0 <= offset < len(self.image):
+                    self._line_decodes(line_end - self.line_size)
+                return memo
+        if PROFILER.enabled:
             with PROFILER.section("sbd.tail_decode"):
                 memo = self._sweep(exit_pc, line_end)
-            self._tail_memo[key] = memo
+        else:
+            memo = self._sweep(exit_pc, line_end)
+        if shared is not None:
+            shared[key] = memo
         return memo
 
     def _sweep(self, start_pc: int, limit_pc: int) -> TailDecodeResult:
@@ -214,9 +280,34 @@ class ShadowBranchDecoder:
         key = (line, entry_offset)
         memo = self._head_memo.get(key)
         if memo is None:
+            memo = self._head_missing(key, line, entry_offset)
+            self._head_memo[key] = memo
+        return memo
+
+    def _head_missing(self, key: tuple[int, int], line: int,
+                      entry_offset: int) -> HeadDecodeResult:
+        """Resolve a head-memo miss: shared table first, then decode.
+
+        A local head decode reads the line vector twice (the region walk
+        and Index Computation); a shared hit replays those two touches so
+        the line-cache counter sequence matches a cold decoder exactly.
+        """
+        shared = self._shared_heads
+        if shared is not None:
+            memo = shared.get(key)
+            if memo is not None:
+                image_base = line - self.base_address
+                if 0 <= image_base < len(self.image):
+                    self._line_decodes(line)
+                    self._line_decodes(line)
+                return memo
+        if PROFILER.enabled:
             with PROFILER.section("sbd.head_decode"):
                 memo = self._decode_head_region(line, entry_offset)
-            self._head_memo[key] = memo
+        else:
+            memo = self._decode_head_region(line, entry_offset)
+        if shared is not None:
+            shared[key] = memo
         return memo
 
     def _decode_head_region(self, line: int, entry_offset: int) -> HeadDecodeResult:

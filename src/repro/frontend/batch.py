@@ -1,0 +1,969 @@
+"""Batched simulation kernel over compiled-trace decode tables.
+
+The per-record object loop (``FrontEndSimulator.run`` /
+``run_compiled``) spends most of its time in interpreter dispatch:
+attribute loads on the simulator, method calls into the BPU tree, a
+``SimStats`` attribute store per counter event.  This module replaces
+that loop on the hot path with a **lane kernel**: one fully inlined
+replay loop per (workload, config, seed) cell that
+
+* reads records from a shared :class:`~repro.workloads.compiled
+  .TraceDecodeTable` (plain Python lists: kinds already objects, takens
+  already bools, line arithmetic already done) instead of re-deriving
+  fields per record per cell;
+* inlines the BTB probe/insert, the L1-I hit path, the BPU decision
+  tree, the Skia FTQ-entry gates and the SBB insert walk into one
+  function body with locals-bound structures;
+* accumulates every ``SimStats`` counter in function locals and flushes
+  them once per chunk.
+
+A :class:`BatchedFrontEndSimulator` steps N independent lanes in
+**chunked lockstep** over their (typically shared) decode tables: all
+lanes advance through records ``[k*C, (k+1)*C)`` before any lane moves
+on.  Lanes over the same trace therefore touch the same table rows and
+the same process-wide shadow-decode tables (:mod:`repro.core
+.decode_tables`) while they are hot.
+
+Bit-exactness contract: a lane performs *exactly* the same structure
+operations, in the same order, with the same counter updates as
+``run_compiled`` -- final ``SimStats`` and metric snapshots are
+bit-identical (enforced over the full Figure-14 grid by
+``tests/frontend/test_batch_equivalence.py``).  The object path remains
+the oracle; the kernel refuses lanes it cannot replicate exactly
+(attached event trace, timeline, attribution, or a comparator) via
+:func:`batch_supported`, and the harness falls back to the object path
+for those cells.
+
+Enabled by default; ``REPRO_BATCH=0`` disables it everywhere (see
+:func:`repro.workloads.compiled.batch_enabled`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.sbb import SBBEntry
+from repro.frontend.btb import BTBEntry
+from repro.frontend.engine import FrontEndSimulator
+from repro.frontend.stats import SimStats
+from repro.isa.branch import BranchKind
+from repro.obs.profiler import PROFILER
+from repro.workloads import compiled as _compiled
+from repro.workloads.compiled import (  # noqa: F401
+    KIND_BY_CODE,
+    CompiledTrace,
+    batch_enabled,
+)
+
+#: Records each lane advances per lockstep round.  Large enough to
+#: amortise the per-chunk local bind/flush, small enough that lanes
+#: sharing a trace revisit the same table rows while they are cached.
+CHUNK_RECORDS = 4096
+
+# Per-kind flags as tuples indexed by the compiled kind *code*: tuple
+# indexing by small int skips the enum-hash a kind-keyed dict would pay
+# on every record.
+_TAKES_TARGET_BY_CODE = tuple(bool(kind.is_direct or kind.is_indirect)
+                              for kind in KIND_BY_CODE)
+_IS_CALL_BY_CODE = tuple(kind.is_call for kind in KIND_BY_CODE)
+_N_KINDS = len(KIND_BY_CODE)
+
+_K_COND = BranchKind.DIRECT_COND
+_K_UNCOND = BranchKind.DIRECT_UNCOND
+_K_CALL = BranchKind.CALL
+_K_RETURN = BranchKind.RETURN
+
+
+class BatchUnsupported(ValueError):
+    """The lane needs a feature only the object loop replicates."""
+
+
+def _lane_rows(table, simulator):
+    """Pre-fused per-record row tuples, cached on the table per geometry.
+
+    The kernel loop unpacks ONE tuple per record instead of indexing
+    ~20 parallel columns: zip-fusing the table columns with the
+    geometry-dependent derived columns (BTB set/tag fold, L1 set number
+    of the branch / first / tail lines, decode cycles, retire delta)
+    turns per-record address arithmetic into a single C-level
+    ``UNPACK_SEQUENCE``.  Rows depend only on the trace and the
+    structure geometry -- grid lanes over one trace share them -- and
+    are derived vectorised when numpy is present.
+    """
+    btb = simulator.bpu.btb
+    config = simulator.config
+    l1_n_sets = simulator.hierarchy.l1i.n_sets
+    decode_width = config.decode_width
+    backend_width = config.backend_effective_width
+    key = (btb.infinite, btb.n_sets, btb.tag_bits, l1_n_sets,
+           decode_width, backend_width)
+    rows = table._lane_cols.get(key)
+    if rows is not None:
+        return rows
+    line_size = table.line_size
+    n = table.n_records
+    np = _compiled._np
+    if np is not None:
+        word = np.asarray(table.branch_pc, dtype=np.int64) >> 1
+        if btb.infinite:
+            bidx = btag = [0] * n
+        else:
+            bidx = (((word ^ (word >> 11) ^ (word >> 23))
+                     % btb.n_sets).tolist())
+            btag = ((word // btb.n_sets)
+                    & ((1 << btb.tag_bits) - 1)).tolist()
+        bls = ((np.asarray(table.branch_line, dtype=np.int64)
+                // line_size) % l1_n_sets).tolist()
+        fls = ((np.asarray(table.first_line, dtype=np.int64)
+                // line_size) % l1_n_sets).tolist()
+        tail_line = ((np.asarray(table.exit_pc, dtype=np.int64) - 1)
+                     & ~(line_size - 1))
+        tls = ((tail_line // line_size) % l1_n_sets).tolist()
+        tl = tail_line.tolist()
+        ni = np.asarray(table.n_instr, dtype=np.int64)
+        dcyc = ((ni + (decode_width - 1)) // decode_width).tolist()
+        nbw = (ni / backend_width).tolist()
+    else:
+        if btb.infinite:
+            bidx = btag = [0] * n
+        else:
+            n_sets = btb.n_sets
+            tag_mask = (1 << btb.tag_bits) - 1
+            bidx = []
+            btag = []
+            for pc in table.branch_pc:
+                word = pc >> 1
+                bidx.append((word ^ (word >> 11) ^ (word >> 23)) % n_sets)
+                btag.append((word // n_sets) & tag_mask)
+        bls = [(line // line_size) % l1_n_sets
+               for line in table.branch_line]
+        fls = [(line // line_size) % l1_n_sets
+               for line in table.first_line]
+        mask = ~(line_size - 1)
+        tl = [(pc - 1) & mask for pc in table.exit_pc]
+        tls = [(line // line_size) % l1_n_sets for line in tl]
+        dcyc = [(count + decode_width - 1) // decode_width
+                for count in table.n_instr]
+        nbw = [count / backend_width for count in table.n_instr]
+    rows = list(zip(table.kind, table.kind_code, table.taken,
+                    table.branch_pc, table.target, table.fallthrough,
+                    table.n_instr, table.branch_line, bls, bidx, btag,
+                    table.first_line, fls, table.n_lines,
+                    table.entry_offset, table.tail_aligned,
+                    table.exit_pc, tl, tls, dcyc, nbw))
+    table._lane_cols[key] = rows
+    return rows
+
+
+def batch_supported(simulator: FrontEndSimulator) -> bool:
+    """Can this simulator's cell run on the batched kernel?
+
+    The kernel skips the per-record instrumentation branches outright,
+    so any attached event trace, timeline or attribution sink -- and
+    the Section 7.1 comparators, whose hooks thread through the BPU
+    tree -- must take the object path.
+    """
+    return (simulator.trace is None
+            and simulator.timeline is None
+            and simulator.attribution is None
+            and simulator.bpu.comparator is None)
+
+
+class _Lane:
+    """One cell's replay state, advanced chunk by chunk."""
+
+    def __init__(self, simulator: FrontEndSimulator, table, warmup: int):
+        self.sim = simulator
+        self.table = table
+        self.warmup = warmup
+        self.n_records = table.n_records
+        self.rows = _lane_rows(table, simulator)
+
+        # Scheduler state (persists across chunks; mirrors the engine).
+        self.iag_free = 0.0
+        self.fetch_free = 0.0
+        self.decode_free = 0.0
+        self.retire_free = 0.0
+        self.ftq_inflight: deque = deque()
+        self.prev_taken = True
+        self.counting = False
+        self.counted_instructions = 0
+        self.counted_blocks = 0
+        self.cycles_at_count_start = 0.0
+        self.wp_at_count_start = 0
+        self.processed = 0
+
+    def advance(self, start: int, stop: int) -> None:
+        """Advance through records [start, stop).
+
+        Splits the segment at the warmup boundary so the warmup ->
+        counting transition happens between kernel invocations -- the
+        kernel then treats ``counting`` as segment-constant.
+        """
+        if not self.counting:
+            warmup = self.warmup
+            if start < warmup < stop:
+                self._advance(start, warmup)
+                self._advance(warmup, stop)
+                return
+        self._advance(start, stop)
+
+    # The kernel: one fully inlined replay of records [start, stop).
+    # Every structure operation and counter update below replicates the
+    # object path (engine.run_compiled + bpu.process_fields +
+    # skia.on_ftq_entry) operation-for-operation; only the dispatch
+    # around them is flattened.
+    def _advance(self, start: int, stop: int) -> None:
+        sim = self.sim
+        config = sim.config
+        stats_obj = sim.stats
+        hierarchy = sim.hierarchy
+        bpu = sim.bpu
+        btb = bpu.btb
+        skia = sim.skia
+
+        line_size = config.line_size
+        line_mask = ~(line_size - 1)
+        ftq_size = config.ftq_size
+        iag_to_fetch = config.iag_to_fetch_delay
+        fetch_to_decode = config.fetch_to_decode_delay
+        repair = config.decode_repair_cycles
+        btb_extra = config.btb_access_latency() - 1
+        exec_resolve = config.exec_resolve_delay
+        pollution_max = config.pollution_max_lines
+
+        if not self.counting and start >= self.warmup:
+            self.counting = True
+            self.cycles_at_count_start = self.retire_free
+            self.wp_at_count_start = hierarchy.wrong_path_fills
+
+        # Pre-fused per-record rows (see _lane_rows).
+        rows = self.rows[start:stop]
+
+        # Structures, locals-bound.
+        l1i = hierarchy.l1i
+        l1_sets = l1i._sets
+        l1_n_sets = l1i.n_sets
+        fill_miss = hierarchy.fill_after_l1_miss
+        btb_infinite = btb.infinite
+        btb_full = btb._full
+        btb_sets = btb._sets
+        btb_assoc = btb.assoc
+        tage_update = bpu.tage.update
+        loop = bpu.loop
+        loop_on = loop is not None
+        loop_predict = loop.predict if loop_on else None
+        loop_update = loop.update if loop_on else None
+        ittage_update = bpu.ittage.update
+        ras_pop = bpu.ras.pop
+        ras_push = bpu.ras.push
+        train_side = bpu._train_side_predictors
+        skia_on = skia is not None
+        heads_on = skia_on and skia.config.decode_heads
+        tails_on = skia_on and skia.config.decode_tails
+        sbb_lookup = skia.sbb.lookup if skia_on else None
+        sbb_mark_retired = skia.sbb.mark_retired if skia_on else None
+        oracle = skia.boundary_oracle if skia_on else None
+        if skia_on:
+            # Decode-memo internals: the hit path (raw dict get + LRU
+            # re-insert + counter bump) is inlined below; misses fall
+            # back to the decoder's _head_missing/_tail_missing with the
+            # exact counter sequence of the decode_head/decode_tail
+            # wrappers.
+            sbd = skia.sbd
+            head_memo = sbd._head_memo
+            hm_data = head_memo._data
+            head_missing = sbd._head_missing
+            tail_memo = sbd._tail_memo
+            tm_data = tail_memo._data
+            tail_missing = sbd._tail_missing
+            # SBB structure internals for the inlined insert walk.
+            usbb = skia.sbb.usbb
+            u_sets = usbb._sets
+            u_n_sets = usbb.n_sets
+            u_assoc = usbb.assoc
+            u_tag_mask = (1 << usbb.tag_bits) - 1
+            u_evict = usbb._evict
+            rsbb = skia.sbb.rsbb
+            r_sets = rsbb._sets
+            r_n_sets = rsbb.n_sets
+            r_assoc = rsbb.assoc
+            r_tag_mask = (1 << rsbb.tag_bits) - 1
+            r_evict = rsbb._evict
+        sbb_entry_cls = SBBEntry
+        takes_target = _TAKES_TARGET_BY_CODE
+        is_call = _IS_CALL_BY_CODE
+        k_cond = _K_COND
+        k_uncond = _K_UNCOND
+        k_call = _K_CALL
+        k_return = _K_RETURN
+        btb_entry_cls = BTBEntry
+
+        branches_d = stats_obj.branches
+        btb_misses_d = stats_obj.btb_misses
+        resteer_causes_d = stats_obj.resteer_causes
+        hist_record = sim._resteer_latency.record
+
+        # Scheduler state, locals-bound.
+        iag_free = self.iag_free
+        fetch_free = self.fetch_free
+        decode_free = self.decode_free
+        retire_free = self.retire_free
+        ftq_inflight = self.ftq_inflight
+        ftq_popleft = ftq_inflight.popleft
+        ftq_append = ftq_inflight.append
+        prev_taken = self.prev_taken
+        counting = self.counting
+        counted_instructions = self.counted_instructions
+        counted_blocks = self.counted_blocks
+
+        # Chunk-local stat accumulators, flushed once at the end.
+        s_btb_lookups = 0
+        s_taken_branches = 0
+        s_btb_miss_l1i_hit = 0
+        s_sbb_lookups = 0
+        s_sbb_misses = 0
+        s_btb_false_hits = 0
+        s_cond_predictions = 0
+        s_cond_mispredicts = 0
+        s_ras_predictions = 0
+        s_ras_underflows = 0
+        s_ras_mispredicts = 0
+        s_indirect_predictions = 0
+        s_indirect_mispredicts = 0
+        s_sbb_hits_u = 0
+        s_sbb_hits_r = 0
+        s_sbb_wrong_target = 0
+        s_sbb_retired_marks = 0
+        s_sbd_head_decodes = 0
+        s_sbd_head_discarded = 0
+        s_sbd_tail_decodes = 0
+        s_sbb_insertions_u = 0
+        s_sbb_insertions_r = 0
+        s_sbb_bogus_insertions = 0
+        s_l1i_accesses = 0
+        s_l1i_misses = 0
+        s_l2_misses = 0
+        s_l3_misses = 0
+        s_fetch_stall = 0.0
+        s_decoder_idle = 0.0
+        s_decode_resteers = 0
+        s_exec_resteers = 0
+        c_btb_lookups = 0
+        c_btb_hits = 0
+        c_l1_accesses = 0
+        c_l1_misses = 0
+        c_u_insertions = 0
+        c_r_insertions = 0
+        cnt_branches = [0] * _N_KINDS
+        cnt_btb_misses = [0] * _N_KINDS
+
+        for (kind, kcode, taken, branch_pc, target, fallthrough, n_instr,
+             branch_line, bl_set, bidx, btag, first_line, fl_set, n_lines,
+             entry_offset, tail_aligned, exit_pc, tail_line, tl_set,
+             decode_cycles, retire_delta) in rows:
+            # ----- IAG: allocate the FTQ entry ------------------------
+            iag_t = iag_free
+            while ftq_inflight and ftq_inflight[0] <= iag_t:
+                ftq_popleft()
+            if len(ftq_inflight) >= ftq_size:
+                iag_t = ftq_popleft()
+
+            # ----- BPU (bpu.process_fields, inlined) ------------------
+            branch_line_present = branch_line in l1_sets[bl_set]
+
+            c_btb_lookups += 1
+            if btb_infinite:
+                entry = btb_full.get(branch_pc)
+                if entry is not None:
+                    c_btb_hits += 1
+            else:
+                bway = btb_sets[bidx]
+                entry = bway.get(btag)
+                if entry is not None:
+                    del bway[btag]
+                    bway[btag] = entry
+                    c_btb_hits += 1
+
+            sbb_result = None
+            if entry is None and skia_on:
+                sbb_result = sbb_lookup(branch_pc)
+
+            if counting:
+                s_btb_lookups += 1
+                cnt_branches[kcode] += 1
+                if taken:
+                    s_taken_branches += 1
+                if entry is None:
+                    cnt_btb_misses[kcode] += 1
+                    if branch_line_present:
+                        s_btb_miss_l1i_hit += 1
+                    if skia_on:
+                        s_sbb_lookups += 1
+                        if sbb_result is None:
+                            s_sbb_misses += 1
+
+            resteer = None
+            cause = None
+            wrong_pc = None
+            used_sbb = False
+            sbb_which = None
+
+            if entry is not None:
+                if entry.kind is not kind:
+                    if counting:
+                        s_btb_false_hits += 1
+                    train_side(branch_pc, kind, taken, target,
+                               stats_obj if counting else None)
+                    if taken:
+                        resteer = "decode"
+                        cause = "btb_alias"
+                        wrong_pc = fallthrough
+                elif kind is k_cond:
+                    predicted = tage_update(branch_pc, taken)
+                    if loop_on:
+                        lp = loop_predict(branch_pc)
+                        loop_update(branch_pc, taken)
+                        if lp is not None:
+                            predicted = lp
+                    if counting:
+                        s_cond_predictions += 1
+                        if predicted != taken:
+                            s_cond_mispredicts += 1
+                    if predicted != taken:
+                        resteer = "exec"
+                        cause = "cond_mispredict"
+                        wrong_pc = target if not taken else fallthrough
+                elif kind is k_uncond or kind is k_call:
+                    if entry.target != target:
+                        resteer = "decode"
+                        cause = "btb_stale_target"
+                        wrong_pc = fallthrough
+                elif kind is k_return:
+                    predicted = ras_pop()
+                    correct = predicted == target
+                    if counting:
+                        s_ras_predictions += 1
+                        if predicted is None:
+                            s_ras_underflows += 1
+                        if not correct:
+                            s_ras_mispredicts += 1
+                    if not correct:
+                        resteer = "exec"
+                        cause = "ras_mispredict"
+                        wrong_pc = fallthrough
+                else:
+                    predicted = ittage_update(branch_pc, target)
+                    correct = predicted == target
+                    if counting:
+                        s_indirect_predictions += 1
+                        if not correct:
+                            s_indirect_mispredicts += 1
+                    if not correct:
+                        resteer = "exec"
+                        cause = "indirect_mispredict"
+                        wrong_pc = fallthrough
+            elif sbb_result is not None:
+                sbb_which, sentry = sbb_result
+                if sbb_which == "u":
+                    if counting:
+                        s_sbb_hits_u += 1
+                    if ((kind is k_uncond or kind is k_call)
+                            and sentry.payload == target):
+                        used_sbb = True
+                    else:
+                        if counting:
+                            s_sbb_wrong_target += 1
+                        train_side(branch_pc, kind, taken, target,
+                                   stats_obj if counting else None)
+                        resteer = "decode"
+                        cause = "sbb_wrong_target"
+                        wrong_pc = fallthrough
+                else:
+                    if counting:
+                        s_sbb_hits_r += 1
+                    if kind is k_return:
+                        predicted = ras_pop()
+                        correct = predicted == target
+                        if counting:
+                            s_ras_predictions += 1
+                            if predicted is None:
+                                s_ras_underflows += 1
+                            if not correct:
+                                s_ras_mispredicts += 1
+                        if correct:
+                            used_sbb = True
+                        else:
+                            resteer = "exec"
+                            cause = "ras_mispredict"
+                            wrong_pc = fallthrough
+                    else:
+                        if counting:
+                            s_sbb_wrong_target += 1
+                        train_side(branch_pc, kind, taken, target,
+                                   stats_obj if counting else None)
+                        resteer = "decode"
+                        cause = "sbb_wrong_target"
+                        wrong_pc = fallthrough
+            else:
+                if kind is k_cond:
+                    predicted = tage_update(branch_pc, taken)
+                    if loop_on:
+                        lp = loop_predict(branch_pc)
+                        loop_update(branch_pc, taken)
+                        if lp is not None:
+                            predicted = lp
+                    if counting:
+                        s_cond_predictions += 1
+                        if predicted != taken:
+                            s_cond_mispredicts += 1
+                    if not taken:
+                        if predicted:
+                            resteer = "exec"
+                            cause = "cond_mispredict"
+                            wrong_pc = target
+                    elif predicted:
+                        resteer = "decode"
+                        cause = "undetected_branch"
+                        wrong_pc = fallthrough
+                    else:
+                        resteer = "exec"
+                        cause = "cond_mispredict"
+                        wrong_pc = fallthrough
+                elif kind is k_uncond or kind is k_call:
+                    resteer = "decode"
+                    cause = "undetected_branch"
+                    wrong_pc = fallthrough
+                elif kind is k_return:
+                    predicted = ras_pop()
+                    correct = predicted == target
+                    if counting:
+                        s_ras_predictions += 1
+                        if predicted is None:
+                            s_ras_underflows += 1
+                        if not correct:
+                            s_ras_mispredicts += 1
+                    if correct:
+                        resteer = "decode"
+                        cause = "undetected_branch"
+                        wrong_pc = fallthrough
+                    else:
+                        resteer = "exec"
+                        cause = "ras_mispredict"
+                        wrong_pc = fallthrough
+                else:
+                    predicted = ittage_update(branch_pc, target)
+                    correct = predicted == target
+                    if counting:
+                        s_indirect_predictions += 1
+                        if not correct:
+                            s_indirect_mispredicts += 1
+                    if correct:
+                        resteer = "decode"
+                        cause = "undetected_branch"
+                        wrong_pc = fallthrough
+                    else:
+                        resteer = "exec"
+                        cause = "indirect_mispredict"
+                        wrong_pc = fallthrough
+
+            # Commit updates (bpu._commit_updates, inlined).
+            btb_target = target if takes_target[kcode] else None
+            if btb_infinite:
+                ientry = btb_full.get(branch_pc)
+                if ientry is not None:
+                    ientry.kind = kind
+                    ientry.target = btb_target
+                else:
+                    btb_full[branch_pc] = btb_entry_cls(
+                        tag=branch_pc, kind=kind, target=btb_target)
+            else:
+                ientry = bway.pop(btag, None)
+                if ientry is not None:
+                    ientry.kind = kind
+                    ientry.target = btb_target
+                else:
+                    if len(bway) >= btb_assoc:
+                        bway.pop(next(iter(bway)))
+                    ientry = btb_entry_cls(tag=btag, kind=kind,
+                                           target=btb_target)
+                bway[btag] = ientry
+            if is_call[kcode]:
+                ras_push(fallthrough)
+            if used_sbb:
+                if sbb_mark_retired(branch_pc, sbb_which) and counting:
+                    s_sbb_retired_marks += 1
+
+            # ----- Prefetch the entry's lines -------------------------
+            lines_ready = iag_t
+            line = first_line
+            lset = fl_set
+            count = n_lines
+            while count:
+                way = l1_sets[lset]
+                c_l1_accesses += 1
+                ready = way.get(line)
+                if ready is not None:
+                    del way[line]
+                    way[line] = ready
+                    if ready > lines_ready:
+                        lines_ready = ready
+                    if counting:
+                        s_l1i_accesses += 1
+                else:
+                    c_l1_misses += 1
+                    fill_time, level = fill_miss(line, iag_t)
+                    if fill_time > lines_ready:
+                        lines_ready = fill_time
+                    if counting:
+                        s_l1i_accesses += 1
+                        s_l1i_misses += 1
+                        if level >= 3:
+                            s_l2_misses += 1
+                        if level >= 4:
+                            s_l3_misses += 1
+                count -= 1
+                if count:
+                    line += line_size
+                    lset = (line // line_size) % l1_n_sets
+
+            # ----- Skia (skia.on_ftq_entry, inlined) ------------------
+            # Structurally-empty decodes (line-aligned entry/exit) are
+            # skipped outright: the object path's decoder early-returns
+            # for them with no cache or counter activity.
+            if skia_on:
+                if (heads_on and prev_taken and entry_offset != 0
+                        and first_line in l1_sets[fl_set]):
+                    hkey = (first_line, entry_offset)
+                    hres = hm_data.get(hkey)
+                    if hres is not None:
+                        head_memo.hits += 1
+                        del hm_data[hkey]
+                        hm_data[hkey] = hres
+                    else:
+                        head_memo.misses += 1
+                        hres = head_missing(hkey, first_line,
+                                            entry_offset)
+                        head_memo[hkey] = hres
+                    if counting:
+                        s_sbd_head_decodes += 1
+                        if hres.discarded:
+                            s_sbd_head_discarded += 1
+                    for sb in hres.branches:
+                        sb_pc = sb.pc
+                        word = sb_pc >> 1
+                        if sb.kind is k_return:
+                            if r_n_sets:
+                                stag = (word // r_n_sets) & r_tag_mask
+                                way = r_sets[(word ^ (word >> 11)
+                                              ^ (word >> 23)) % r_n_sets]
+                                c_r_insertions += 1
+                                existing = way.get(stag)
+                                if existing is not None:
+                                    del way[stag]
+                                    existing.payload = sb_pc % line_size
+                                    way[stag] = existing
+                                else:
+                                    if len(way) >= r_assoc:
+                                        r_evict(way)
+                                    way[stag] = sbb_entry_cls(
+                                        tag=stag,
+                                        payload=sb_pc % line_size)
+                            if counting:
+                                s_sbb_insertions_r += 1
+                        else:
+                            sb_target = sb.target
+                            if sb_target is None:  # pragma: no cover
+                                continue
+                            if u_n_sets:
+                                stag = (word // u_n_sets) & u_tag_mask
+                                way = u_sets[(word ^ (word >> 11)
+                                              ^ (word >> 23)) % u_n_sets]
+                                c_u_insertions += 1
+                                existing = way.get(stag)
+                                if existing is not None:
+                                    del way[stag]
+                                    existing.payload = sb_target
+                                    way[stag] = existing
+                                else:
+                                    if len(way) >= u_assoc:
+                                        u_evict(way)
+                                    way[stag] = sbb_entry_cls(
+                                        tag=stag, payload=sb_target)
+                            if counting:
+                                s_sbb_insertions_u += 1
+                        if (counting and oracle is not None
+                                and not oracle(sb_pc)):
+                            s_sbb_bogus_insertions += 1
+                if tails_on and taken and not tail_aligned:
+                    if tail_line in l1_sets[tl_set]:
+                        tkey = (tail_line, exit_pc - tail_line)
+                        tres = tm_data.get(tkey)
+                        if tres is not None:
+                            tail_memo.hits += 1
+                            del tm_data[tkey]
+                            tm_data[tkey] = tres
+                        else:
+                            tail_memo.misses += 1
+                            tres = tail_missing(tkey, exit_pc,
+                                                tail_line + line_size)
+                            tail_memo[tkey] = tres
+                        if counting:
+                            s_sbd_tail_decodes += 1
+                        for sb in tres.branches:
+                            sb_pc = sb.pc
+                            word = sb_pc >> 1
+                            if sb.kind is k_return:
+                                if r_n_sets:
+                                    stag = (word // r_n_sets) & r_tag_mask
+                                    way = r_sets[(word ^ (word >> 11)
+                                                  ^ (word >> 23))
+                                                 % r_n_sets]
+                                    c_r_insertions += 1
+                                    existing = way.get(stag)
+                                    if existing is not None:
+                                        del way[stag]
+                                        existing.payload = (sb_pc
+                                                            % line_size)
+                                        way[stag] = existing
+                                    else:
+                                        if len(way) >= r_assoc:
+                                            r_evict(way)
+                                        way[stag] = sbb_entry_cls(
+                                            tag=stag,
+                                            payload=sb_pc % line_size)
+                                if counting:
+                                    s_sbb_insertions_r += 1
+                            else:
+                                sb_target = sb.target
+                                if sb_target is None:  # pragma: no cover
+                                    continue
+                                if u_n_sets:
+                                    stag = (word // u_n_sets) & u_tag_mask
+                                    way = u_sets[(word ^ (word >> 11)
+                                                  ^ (word >> 23))
+                                                 % u_n_sets]
+                                    c_u_insertions += 1
+                                    existing = way.get(stag)
+                                    if existing is not None:
+                                        del way[stag]
+                                        existing.payload = sb_target
+                                        way[stag] = existing
+                                    else:
+                                        if len(way) >= u_assoc:
+                                            u_evict(way)
+                                        way[stag] = sbb_entry_cls(
+                                            tag=stag, payload=sb_target)
+                                if counting:
+                                    s_sbb_insertions_u += 1
+                            if (counting and oracle is not None
+                                    and not oracle(sb_pc)):
+                                s_sbb_bogus_insertions += 1
+
+            # ----- Fetch ----------------------------------------------
+            fetch_start = fetch_free
+            other = iag_t + iag_to_fetch
+            if other > fetch_start:
+                fetch_start = other
+            if lines_ready > fetch_start:
+                if counting:
+                    s_fetch_stall += lines_ready - fetch_start
+                fetch_start = lines_ready
+            fetch_done = fetch_start + n_lines
+            fetch_free = fetch_done
+            ftq_append(fetch_done)
+
+            # ----- Decode ---------------------------------------------
+            input_ready = fetch_done + fetch_to_decode
+            decode_start = decode_free if decode_free > input_ready \
+                else input_ready
+            if counting:
+                s_decoder_idle += decode_start - decode_free
+            decode_done = decode_start + decode_cycles
+            decode_free = decode_done
+
+            # ----- Retire ---------------------------------------------
+            retire_start = decode_done + 1
+            if retire_free > retire_start:
+                retire_start = retire_free
+            retire_free = retire_start + retire_delta
+
+            # ----- Resteer / next-entry scheduling --------------------
+            if resteer is None:
+                iag_free = iag_t + 1
+            else:
+                if resteer == "decode":
+                    detect = decode_done
+                    if counting:
+                        s_decode_resteers += 1
+                else:
+                    detect = decode_done + exec_resolve
+                    if counting:
+                        s_exec_resteers += 1
+                restart = detect + repair + btb_extra
+                if counting:
+                    ckey = cause or "unattributed"
+                    resteer_causes_d[ckey] = (
+                        resteer_causes_d.get(ckey, 0) + 1)
+                    hist_record(restart - iag_t)
+                if wrong_pc is not None:
+                    wrong_line = wrong_pc & line_mask
+                    depth = min(pollution_max, ftq_size,
+                                int(restart - iag_t))
+                    for step in range(1, depth + 1):
+                        pline = wrong_line + step * line_size
+                        way = l1_sets[(pline // line_size) % l1_n_sets]
+                        c_l1_accesses += 1
+                        ready = way.get(pline)
+                        if ready is not None:
+                            del way[pline]
+                            way[pline] = ready
+                        else:
+                            c_l1_misses += 1
+                            fill_miss(pline, iag_t + step, True)
+                    if counting:
+                        stats_obj.wrong_path_fills = (
+                            hierarchy.wrong_path_fills
+                            - self.wp_at_count_start)
+                iag_free = restart
+                ftq_inflight.clear()
+                if restart > fetch_free:
+                    fetch_free = restart
+
+            if counting:
+                counted_instructions += n_instr
+                counted_blocks += 1
+            prev_taken = taken
+
+        # ----- Flush chunk-local accumulators -------------------------
+        stats_obj.btb_lookups += s_btb_lookups
+        stats_obj.taken_branches += s_taken_branches
+        stats_obj.btb_miss_l1i_hit += s_btb_miss_l1i_hit
+        stats_obj.sbb_lookups += s_sbb_lookups
+        stats_obj.sbb_misses += s_sbb_misses
+        stats_obj.btb_false_hits += s_btb_false_hits
+        stats_obj.cond_predictions += s_cond_predictions
+        stats_obj.cond_mispredicts += s_cond_mispredicts
+        stats_obj.ras_predictions += s_ras_predictions
+        stats_obj.ras_underflows += s_ras_underflows
+        stats_obj.ras_mispredicts += s_ras_mispredicts
+        stats_obj.indirect_predictions += s_indirect_predictions
+        stats_obj.indirect_mispredicts += s_indirect_mispredicts
+        stats_obj.sbb_hits_u += s_sbb_hits_u
+        stats_obj.sbb_hits_r += s_sbb_hits_r
+        stats_obj.sbb_wrong_target += s_sbb_wrong_target
+        stats_obj.sbb_retired_marks += s_sbb_retired_marks
+        stats_obj.sbd_head_decodes += s_sbd_head_decodes
+        stats_obj.sbd_head_discarded += s_sbd_head_discarded
+        stats_obj.sbd_tail_decodes += s_sbd_tail_decodes
+        stats_obj.sbb_insertions_u += s_sbb_insertions_u
+        stats_obj.sbb_insertions_r += s_sbb_insertions_r
+        stats_obj.sbb_bogus_insertions += s_sbb_bogus_insertions
+        stats_obj.l1i_accesses += s_l1i_accesses
+        stats_obj.l1i_misses += s_l1i_misses
+        stats_obj.l2_misses += s_l2_misses
+        stats_obj.l3_misses += s_l3_misses
+        stats_obj.fetch_stall_cycles += s_fetch_stall
+        stats_obj.decoder_idle_cycles += s_decoder_idle
+        stats_obj.decode_resteers += s_decode_resteers
+        stats_obj.exec_resteers += s_exec_resteers
+        kind_by_code = KIND_BY_CODE
+        for code in range(_N_KINDS):
+            count = cnt_branches[code]
+            if count:
+                branches_d[kind_by_code[code]] += count
+            count = cnt_btb_misses[code]
+            if count:
+                btb_misses_d[kind_by_code[code]] += count
+        btb.lookups += c_btb_lookups
+        btb.hits += c_btb_hits
+        l1i.accesses += c_l1_accesses
+        l1i.misses += c_l1_misses
+        if skia_on:
+            usbb.insertions += c_u_insertions
+            rsbb.insertions += c_r_insertions
+
+        self.iag_free = iag_free
+        self.fetch_free = fetch_free
+        self.decode_free = decode_free
+        self.retire_free = retire_free
+        self.prev_taken = prev_taken
+        self.counting = counting
+        self.counted_instructions = counted_instructions
+        self.counted_blocks = counted_blocks
+        self.processed += stop - start
+
+    def finish(self) -> SimStats:
+        """Final stats assembly; mirrors the engine's loop epilogue."""
+        sim = self.sim
+        stats = sim.stats
+        sim._records_seen += self.processed
+        stats.instructions = self.counted_instructions
+        stats.blocks = self.counted_blocks
+        stats.cycles = max(self.retire_free - self.cycles_at_count_start,
+                           1e-9)
+        return stats
+
+
+class BatchedFrontEndSimulator:
+    """Advance many independent cells in chunked lockstep.
+
+    Add one lane per (workload, config, seed) cell with
+    :meth:`add_lane`, then :meth:`run` steps every lane through records
+    ``[0, C)``, ``[C, 2C)``, ... so lanes sharing a trace reuse its
+    decode table and the process-wide shadow-decode tables while hot.
+    Each lane's final ``SimStats`` is bit-identical to what
+    ``FrontEndSimulator.run_compiled`` would have produced.
+    """
+
+    def __init__(self, chunk_records: int = CHUNK_RECORDS):
+        if chunk_records <= 0:
+            raise ValueError("chunk_records must be positive")
+        self.chunk_records = chunk_records
+        self._lanes: list[_Lane] = []
+
+    def __len__(self) -> int:
+        return len(self._lanes)
+
+    def add_lane(self, simulator: FrontEndSimulator,
+                 compiled: CompiledTrace, warmup: int = 0) -> None:
+        """Register one cell; raises :class:`BatchUnsupported` when the
+        cell needs per-record instrumentation only the object loop has."""
+        if not batch_supported(simulator):
+            raise BatchUnsupported(
+                "cell has an event trace, timeline, attribution sink or "
+                "comparator attached; run it on the object path")
+        table = compiled.decode_table(simulator.config.line_size)
+        self._lanes.append(_Lane(simulator, table, warmup))
+
+    def run(self) -> list[SimStats]:
+        """Run every lane to completion; stats in ``add_lane`` order."""
+        if PROFILER.enabled:
+            with PROFILER.section("engine.run_batched"):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> list[SimStats]:
+        lanes = self._lanes
+        if lanes:
+            longest = max(lane.n_records for lane in lanes)
+            chunk = self.chunk_records
+            start = 0
+            while start < longest:
+                stop = start + chunk
+                for lane in lanes:
+                    n = lane.n_records
+                    if start < n:
+                        lane.advance(start, stop if stop < n else n)
+                start = stop
+        return [lane.finish() for lane in lanes]
+
+
+def run_compiled_batched(simulator: FrontEndSimulator,
+                         compiled: CompiledTrace,
+                         warmup: int = 0) -> SimStats:
+    """Single-cell convenience: the kernel still wins without lane
+    sharing (inlined loop, decode table, local counters)."""
+    batch = BatchedFrontEndSimulator()
+    batch.add_lane(simulator, compiled, warmup=warmup)
+    return batch.run()[0]

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.isa.branch import BranchKind
 
 
-@dataclass
+@dataclass(slots=True)
 class BTBEntry:
     """One BTB entry: branch kind plus last-known target."""
 
@@ -79,18 +79,32 @@ class BranchTargetBuffer:
         return entry
 
     def insert(self, pc: int, kind: BranchKind, target: int | None) -> None:
-        """Insert or update the entry for ``pc`` (MRU position)."""
+        """Insert or update the entry for ``pc`` (MRU position).
+
+        Updates mutate the resident entry in place -- every decoded
+        branch re-inserts on commit, so reallocating an entry per record
+        was a measurable share of the hot loop.
+        """
         if self.infinite:
+            entry = self._full.get(pc)
+            if entry is not None:
+                entry.kind = kind
+                entry.target = target
+                return
             self._full[pc] = BTBEntry(tag=pc, kind=kind, target=target)
             return
         index, tag = self._index_tag(pc)
         way = self._sets[index]
-        if tag in way:
-            del way[tag]
-        elif len(way) >= self.assoc:
-            # Evict LRU (first inserted).
-            way.pop(next(iter(way)))
-        way[tag] = BTBEntry(tag=tag, kind=kind, target=target)
+        entry = way.pop(tag, None)
+        if entry is not None:
+            entry.kind = kind
+            entry.target = target
+        else:
+            if len(way) >= self.assoc:
+                # Evict LRU (first inserted).
+                way.pop(next(iter(way)))
+            entry = BTBEntry(tag=tag, kind=kind, target=target)
+        way[tag] = entry
 
     def contains(self, pc: int) -> bool:
         """Presence probe without LRU side effects (for tests/metrics)."""

@@ -106,8 +106,18 @@ class CacheHierarchy:
         ready = self.l1i.lookup(line_addr)
         if ready is not None:
             return True, max(ready, now), 1
+        fill_time, level = self.fill_after_l1_miss(line_addr, now, wrong_path)
+        return False, fill_time, level
 
-        # L1 miss: walk down.
+    def fill_after_l1_miss(self, line_addr: int, now: float,
+                           wrong_path: bool = False) -> tuple[float, int]:
+        """The miss half of :meth:`access`: walk L2/L3/memory and fill.
+
+        Split out so the batched kernel can inline the L1 probe (with
+        locally-accumulated counters) and only pay a call on the miss
+        path.  The caller has already performed -- and counted -- the L1
+        lookup.  Returns ``(fill_time, serviced_level)``.
+        """
         l2_ready = self.l2.lookup(line_addr)
         if l2_ready is not None:
             fill_time = now + self.l2_latency
@@ -125,7 +135,7 @@ class CacheHierarchy:
         self.l1i.fill(line_addr, fill_time)
         if wrong_path:
             self.wrong_path_fills += 1
-        return False, fill_time, level
+        return fill_time, level
 
     def line_present(self, pc: int) -> bool:
         """Is the line containing ``pc`` resident in the L1-I?"""

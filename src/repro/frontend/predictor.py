@@ -50,6 +50,8 @@ class TageLite:
         self.history_lengths = history_lengths
         self.table_mask = (1 << table_bits) - 1
         self.tag_mask = (1 << tag_bits) - 1
+        self._history_masks = tuple((1 << length) - 1
+                                    for length in history_lengths)
         self.tables: list[dict[int, _TaggedEntry]] = [
             dict() for _ in history_lengths
         ]
@@ -62,14 +64,27 @@ class TageLite:
     # ------------------------------------------------------------------
 
     def _indices(self, pc: int) -> list[tuple[int, int]]:
-        """(index, tag) per tagged table for the current history."""
+        """(index, tag) per tagged table for the current history.
+
+        :func:`_mix` is inlined (this runs once per conditional branch)
+        over precomputed history masks; the arithmetic is identical.
+        """
         out = []
-        for table_number, length in enumerate(self.history_lengths):
-            hist = self.history & ((1 << length) - 1)
-            mixed = _mix(pc, hist, table_number + 1)
-            index = mixed & self.table_mask
-            tag = (mixed >> self.table_bits) & self.tag_mask
-            out.append((index, tag))
+        history = self.history
+        table_mask = self.table_mask
+        tag_mask = self.tag_mask
+        table_bits = self.table_bits
+        pc_mixed = pc * 0x9E3779B97F4A7C15
+        salt = 1
+        for mask in self._history_masks:
+            value = pc_mixed ^ ((history & mask) * 0xC2B2AE3D27D4EB4F) ^ salt
+            value ^= value >> 29
+            value *= 0xBF58476D1CE4E5B9
+            value ^= value >> 32
+            value &= 0x7FFFFFFFFFFFFFFF
+            out.append((value & table_mask,
+                        (value >> table_bits) & tag_mask))
+            salt += 1
         return out
 
     def _bimodal_predict(self, pc: int) -> bool:
@@ -254,6 +269,8 @@ class ITTageLite:
         self.tag_mask = (1 << tag_bits) - 1
         self.table_bits = table_bits
         self.history_lengths = history_lengths
+        self._history_masks = tuple((1 << length) - 1
+                                    for length in history_lengths)
         self.tables: list[dict[int, _ITEntry]] = [dict() for _ in history_lengths]
         self.base: dict[int, int] = {}
         self.history = 0  # path history of recent indirect targets
@@ -261,12 +278,23 @@ class ITTageLite:
         self.mispredictions = 0
 
     def _indices(self, pc: int) -> list[tuple[int, int]]:
+        # _mix inlined over precomputed masks, as in TageLite._indices.
         out = []
-        for table_number, length in enumerate(self.history_lengths):
-            hist = self.history & ((1 << length) - 1)
-            mixed = _mix(pc, hist, 0x17 + table_number)
-            out.append((mixed & self.table_mask,
-                        (mixed >> self.table_bits) & self.tag_mask))
+        history = self.history
+        table_mask = self.table_mask
+        tag_mask = self.tag_mask
+        table_bits = self.table_bits
+        pc_mixed = pc * 0x9E3779B97F4A7C15
+        salt = 0x17
+        for mask in self._history_masks:
+            value = pc_mixed ^ ((history & mask) * 0xC2B2AE3D27D4EB4F) ^ salt
+            value ^= value >> 29
+            value *= 0xBF58476D1CE4E5B9
+            value ^= value >> 32
+            value &= 0x7FFFFFFFFFFFFFFF
+            out.append((value & table_mask,
+                        (value >> table_bits) & tag_mask))
+            salt += 1
         return out
 
     def _find_provider(self, indices: list[tuple[int, int]]):

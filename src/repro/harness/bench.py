@@ -42,7 +42,7 @@ from repro.harness.scale import Scale
 from repro.harness.store import ResultStore
 from repro.obs.profiler import PROFILER
 from repro.workloads.cache import WorkloadCache
-from repro.workloads.compiled import compiled_traces_enabled
+from repro.workloads.compiled import batch_enabled, compiled_traces_enabled
 
 #: Bump when the payload shape changes; ``compare`` refuses to diff
 #: files with mismatched schema versions.
@@ -142,6 +142,46 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
             start = time.perf_counter()
             warm_runner.run_cells(all_cells, jobs=1)
             warm_wall = time.perf_counter() - start
+
+            # Phase 3: kernel comparison — the Figure-14 grid replayed
+            # with the batched lane kernel on and off, over the traces
+            # phase 1 already built (store disabled, fresh memo each
+            # time), so the ratio isolates replay-loop cost from trace
+            # generation/compilation.  Skipped when compiled traces are
+            # off: both flag states would take the same object path.
+            batch_out = {"enabled": batch_enabled() and
+                         compiled_traces_enabled()}
+            if compiled_traces_enabled():
+                grid = figures["fig14_grid"]
+                grid_records = scale.records * len(grid)
+
+                def _grid_wall() -> float:
+                    runner = ExperimentRunner(scale=scale, cache=cold_cache,
+                                              store=None)
+                    start = time.perf_counter()
+                    runner.run_cells(grid, jobs=1)
+                    return time.perf_counter() - start
+
+                previous = os.environ.get("REPRO_BATCH")
+                try:
+                    os.environ["REPRO_BATCH"] = "1"
+                    batched_wall = _grid_wall()
+                    os.environ["REPRO_BATCH"] = "0"
+                    unbatched_wall = _grid_wall()
+                finally:
+                    if previous is None:
+                        os.environ.pop("REPRO_BATCH", None)
+                    else:
+                        os.environ["REPRO_BATCH"] = previous
+                batch_out.update({
+                    "batched_wall_s": round(batched_wall, 4),
+                    "unbatched_wall_s": round(unbatched_wall, 4),
+                    "batched_records_per_sec": round(
+                        grid_records / batched_wall, 2),
+                    "unbatched_records_per_sec": round(
+                        grid_records / unbatched_wall, 2),
+                    "speedup": round(unbatched_wall / batched_wall, 3),
+                })
     finally:
         profiler_snapshot = PROFILER.snapshot()
         PROFILER.enabled = was_enabled
@@ -167,6 +207,9 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
             "warm_wall_s": round(warm_wall, 4),
         },
         "figures": figure_out,
+        # Additive since schema 1: batched-kernel vs per-record replay
+        # of the Figure-14 grid (phase 3 above).
+        "batch": batch_out,
         "caches": {
             **{key: round(value, 6)
                for key, value in cache_rates.items()},
@@ -292,6 +335,13 @@ def compare_bench(before: Mapping, after: Mapping,
             lines.append(regressions[-1])
         else:
             lines.append(line)
+
+    b_batch = before.get("batch", {}).get("speedup")
+    a_batch = after.get("batch", {}).get("speedup")
+    if b_batch is not None or a_batch is not None:
+        # Reported, never gating here: the hard >= 2x floor lives in the
+        # component-throughput benchmark job (see benchmarks/).
+        lines.append(f"batch speedup: {b_batch} -> {a_batch}")
 
     b_caches = before.get("caches", {})
     a_caches = after.get("caches", {})

@@ -152,9 +152,10 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
     same in-order event fold serial runs perform, so serial and parallel
     artifacts are byte-identical.
     """
+    from repro.frontend.batch import batch_supported, run_compiled_batched
     from repro.frontend.engine import FrontEndSimulator
     from repro.workloads.cache import GLOBAL_CACHE
-    from repro.workloads.compiled import compiled_traces_enabled
+    from repro.workloads.compiled import batch_enabled, compiled_traces_enabled
 
     with PROFILER.section("harness.cell"):
         store = ResultStore(store_root) if store_root else None
@@ -190,8 +191,16 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
             if record_attribution:
                 simulator.attach_attribution()
             if compiled is not None:
-                stats = simulator.run_compiled(compiled,
-                                               warmup=scale.warmup)
+                # The batched kernel wins even with a single lane
+                # (inlined loop, fused rows, local counters); cells the
+                # kernel cannot replicate bit-exactly (attribution
+                # attached, comparator, ...) fall back automatically.
+                if batch_enabled() and batch_supported(simulator):
+                    stats = run_compiled_batched(simulator, compiled,
+                                                 warmup=scale.warmup)
+                else:
+                    stats = simulator.run_compiled(compiled,
+                                                   warmup=scale.warmup)
             else:
                 stats = simulator.run(trace, warmup=scale.warmup)
         if store is not None:

@@ -22,6 +22,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.frontend.batch import (
+    BatchedFrontEndSimulator,
+    batch_supported,
+    run_compiled_batched,
+)
 from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import FrontEndSimulator
 from repro.frontend.stats import SimStats
@@ -30,7 +35,7 @@ from repro.harness.scale import Scale, current_scale
 from repro.harness.store import ResultStore, config_key, default_store
 from repro.obs.profiler import PROFILER
 from repro.workloads.cache import GLOBAL_CACHE, WorkloadCache
-from repro.workloads.compiled import compiled_traces_enabled
+from repro.workloads.compiled import batch_enabled, compiled_traces_enabled
 
 __all__ = ["ExperimentRunner", "config_key"]
 
@@ -187,8 +192,15 @@ class ExperimentRunner:
                 if self.record_attribution:
                     simulator.attach_attribution()
                 if use_compiled:
-                    stats = simulator.run_compiled(
-                        compiled, warmup=self.scale.warmup)
+                    # Prefer the batched kernel even for one cell; the
+                    # object/compiled loops remain the fallback (and the
+                    # oracle) for cells with instrumentation attached.
+                    if batch_enabled() and batch_supported(simulator):
+                        stats = run_compiled_batched(
+                            simulator, compiled, warmup=self.scale.warmup)
+                    else:
+                        stats = simulator.run_compiled(
+                            compiled, warmup=self.scale.warmup)
                 else:
                     stats = simulator.run(trace, warmup=self.scale.warmup)
                 metrics = simulator.metrics_snapshot()
@@ -220,15 +232,19 @@ class ExperimentRunner:
                    if cell.identity(self.scale) not in self._results]
         if missing:
             if jobs == 1:
-                for cell in missing:
-                    key = cell.identity(self.scale)
-                    if key not in self._results:
-                        stats, metrics = self._run_uncached(
-                            cell.workload, cell.config, cell.bolted,
-                            cell.seed)
-                        self._results[key] = stats
-                        if metrics is not None:
-                            self._metrics[key] = metrics
+                if (batch_enabled() and compiled_traces_enabled()
+                        and not self.record_attribution):
+                    self._run_missing_batched(missing)
+                else:
+                    for cell in missing:
+                        key = cell.identity(self.scale)
+                        if key not in self._results:
+                            stats, metrics = self._run_uncached(
+                                cell.workload, cell.config, cell.bolted,
+                                cell.seed)
+                            self._results[key] = stats
+                            if metrics is not None:
+                                self._metrics[key] = metrics
             else:
                 parallel = ParallelRunner(
                     scale=self.scale, jobs=jobs, store=self.store,
@@ -239,6 +255,71 @@ class ExperimentRunner:
                                              stats)
         return [self._results[cell.identity(self.scale)]
                 for cell in resolved]
+
+    def _run_missing_batched(self, missing: Sequence[Cell]) -> None:
+        """Serial batch path: multi-lane kernel per shared trace.
+
+        Groups uncached cells by (workload, seed, bolted) so every lane
+        of a group replays one shared decode table in chunked lockstep
+        -- the table rows and the process-wide shadow-decode tables stay
+        hot across lanes instead of being streamed N times.  Store hits
+        short-circuit exactly as :meth:`_run_uncached` does; the
+        produced stats and metric snapshots are bit-identical to the
+        serial object path.
+        """
+        groups: dict[tuple, list[Cell]] = {}
+        seen: set[tuple] = set()
+        for cell in missing:
+            key = cell.identity(self.scale)
+            if key in self._results or key in seen:
+                continue
+            seen.add(key)
+            groups.setdefault(
+                (cell.workload, cell.seed, cell.bolted), []).append(cell)
+        for (workload, seed, bolted), cells in groups.items():
+            pending: list[Cell] = []
+            for cell in cells:
+                key = cell.identity(self.scale)
+                if self.store is not None:
+                    store_key = self.store.key(workload, cell.config, seed,
+                                               self.scale, bolted=bolted)
+                    stored = self.store.get(store_key)
+                    if stored is not None:
+                        self._results[key] = stored
+                        metrics = self.store.get_metrics(store_key)
+                        if metrics is not None:
+                            self._metrics[key] = metrics
+                        continue
+                pending.append(cell)
+            if not pending:
+                continue
+            with PROFILER.section("harness.cell"):
+                with PROFILER.section("harness.workload"):
+                    program = self.cache.program(workload, seed=seed,
+                                                 bolted=bolted)
+                    compiled = self.cache.compiled(
+                        workload, self.scale.records, seed=seed,
+                        bolted=bolted)
+                batch = BatchedFrontEndSimulator()
+                simulators = []
+                for cell in pending:
+                    simulator = FrontEndSimulator(program, cell.config,
+                                                  seed=seed)
+                    batch.add_lane(simulator, compiled,
+                                   warmup=self.scale.warmup)
+                    simulators.append(simulator)
+                with PROFILER.section("harness.simulate"):
+                    stats_list = batch.run()
+                for cell, simulator, stats in zip(pending, simulators,
+                                                  stats_list):
+                    metrics = simulator.metrics_snapshot()
+                    self._results[cell.identity(self.scale)] = stats
+                    self._metrics[cell.identity(self.scale)] = metrics
+                    if self.store is not None:
+                        store_key = self.store.key(
+                            workload, cell.config, seed, self.scale,
+                            bolted=bolted)
+                        self.store.put(store_key, stats, metrics=metrics)
 
     def run_many(self, workloads: list[str], config: FrontEndConfig,
                  bolted: bool = False,

