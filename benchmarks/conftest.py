@@ -22,9 +22,7 @@ import pathlib
 
 import pytest
 
-from repro.frontend.config import FrontEndConfig
 from repro.harness import experiments
-from repro.harness.parallel import Cell
 from repro.harness.runner import ExperimentRunner
 from repro.harness.scale import current_scale
 
@@ -36,11 +34,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
 PREFETCH_EXHIBITS = ("fig1", "fig3", "fig6", "fig13", "fig14", "fig15",
                      "fig16", "fig17", "fig18", "bolt", "bogus",
                      "ablation-index", "ablation-paths",
-                     "ablation-retired")
+                     "ablation-retired", "comparator-zoo")
 
 
-def _planned_cells(sweep_params: dict) -> list[Cell]:
-    cells: list[Cell] = []
+def _planned_cells(sweep_params: dict) -> list:
+    cells: list = []
     for name in PREFETCH_EXHIBITS:
         kwargs: dict = {"workloads": sweep_params["workloads"]}
         if name in ("fig1", "fig3"):
@@ -50,11 +48,9 @@ def _planned_cells(sweep_params: dict) -> list[Cell]:
             kwargs["scales"] = sweep_params["fig17_scales"]
         elif name == "ablation-paths":
             kwargs["limits"] = sweep_params["max_paths_limits"]
+        elif name == "comparator-zoo":
+            kwargs["depths"] = sweep_params["fdip_depths"]
         cells += experiments.exhibit_cells(name, **kwargs)
-    base = FrontEndConfig()
-    cells += [Cell(workload, base.with_comparator(comparator))
-              for comparator in ("airbtb", "boomerang")
-              for workload in sweep_params["workloads"]]
     return cells
 
 
@@ -79,6 +75,7 @@ def sweep_params() -> dict:
             "fig17_splits": ((768, 2024), (1024, 1024)),
             "fig17_scales": (0.5, 1.0),
             "max_paths_limits": (1, 6),
+            "fdip_depths": (1, 2),
         }
     if scale.name == "quick":
         from repro.workloads.profiles import WORKLOAD_NAMES
@@ -89,8 +86,10 @@ def sweep_params() -> dict:
                              (1024, 1024), (1284, 8)),
             "fig17_scales": (0.25, 0.5, 1.0, 2.0, 4.0),
             "max_paths_limits": (1, 6, 64),
+            "fdip_depths": (1, 2, 4),
         }
-    from repro.harness.experiments import BTB_SWEEP, FIG17_SCALES, FIG17_SPLITS
+    from repro.harness.experiments import (BTB_SWEEP, FDIP_DEPTHS,
+                                           FIG17_SCALES, FIG17_SPLITS)
     from repro.workloads.profiles import WORKLOAD_NAMES
     return {
         "workloads": WORKLOAD_NAMES,
@@ -98,6 +97,7 @@ def sweep_params() -> dict:
         "fig17_splits": FIG17_SPLITS,
         "fig17_scales": FIG17_SCALES,
         "max_paths_limits": (1, 2, 4, 6, 12, 64),
+        "fdip_depths": FDIP_DEPTHS,
     }
 
 

@@ -8,6 +8,7 @@ argument on the same substrate and workloads.
 """
 
 from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.harness import experiments
 from repro.harness.reporting import format_table, geomean_speedup, pct
 from repro.harness.scale import current_scale
 
@@ -43,3 +44,20 @@ def test_comparators(benchmark, runner, sweep_params, save_render):
     # fidelity; the tight Boomerang margin only holds from quick up.
     boomerang_factor = 0.95 if current_scale().name == "smoke" else 0.98
     assert gains["Skia"] >= gains["Boomerang-lite"] * boomerang_factor
+
+
+def test_comparator_zoo(benchmark, runner, sweep_params, save_render):
+    """Cross-design grid: Skia vs bigger-BTB vs Micro-BTB vs FDIP-depth."""
+    zoo = benchmark.pedantic(
+        lambda: experiments.comparator_zoo(
+            runner, workloads=sweep_params["workloads"],
+            depths=sweep_params["fdip_depths"]),
+        rounds=1, iterations=1)
+    save_render("comparator_zoo", zoo["render"])
+
+    gains = {label: values["gain"] for label, values in zoo["data"].items()}
+    # The execution-history designs cannot see never-executed shadow
+    # branches, so Skia stays at or above both on every scale.
+    factor = 0.95 if current_scale().name == "smoke" else 0.98
+    assert gains["Skia"] >= gains["AirBTB-lite"] * factor
+    assert gains["Skia"] >= gains["MicroBTB-lite"] * factor

@@ -4,7 +4,8 @@ Commands
 --------
 ``compare``    -- baseline vs Skia on one workload (quickstart in a CLI).
 ``experiment`` -- regenerate one paper exhibit by name (fig1..fig18,
-                  table1, table2, bolt, bogus, ablations).
+                  table1, table2, bolt, bogus, ablations,
+                  comparator-zoo).
 ``workloads``  -- list the calibrated workload profiles.
 ``describe``   -- generate a workload and print its static structure.
 ``stats``      -- per-component metric snapshots: dump one run
@@ -51,7 +52,14 @@ EXPERIMENTS = {
     "ablation-index": experiments.ablation_index_policy,
     "ablation-paths": experiments.ablation_max_paths,
     "ablation-retired": experiments.ablation_retired_bit,
+    "comparator-zoo": experiments.comparator_zoo,
 }
+
+#: ``--config`` short names for ``stats run`` / ``attrib run``: the
+#: Figure 14 grid plus the Section 7.1 comparator designs (``fdipN``
+#: pins the FDIP predecode depth to N lines).
+CONFIG_NAMES = ("base", "skia", "head", "tail", "airbtb", "boomerang",
+                "microbtb", "fdip", "fdip1", "fdip2", "fdip4", "fdip8")
 
 
 def _add_common_options(parser: argparse.ArgumentParser,
@@ -125,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="simulate one cell and dump per-component counters")
     stats_run.add_argument("workload", choices=sorted(WORKLOAD_NAMES))
     stats_run.add_argument("--config", default="skia",
-                           choices=["base", "skia", "head", "tail"],
+                           choices=list(CONFIG_NAMES),
                            help="configuration to simulate (default: skia)")
     stats_run.add_argument("--dump", metavar="PATH", default=None,
                            help="also save the snapshot as JSON")
@@ -174,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "exits non-zero on any conservation violation")
     attrib_run.add_argument("workload", choices=sorted(WORKLOAD_NAMES))
     attrib_run.add_argument("--config", default="skia",
-                            choices=["base", "skia", "head", "tail"],
+                            choices=list(CONFIG_NAMES),
                             help="configuration to simulate "
                                  "(default: skia)")
     attrib_run.add_argument("--out", metavar="PATH", default=None,
@@ -316,11 +324,20 @@ def _run_table(args) -> int:
 
 
 def _stats_config(name: str):
-    """The four Figure 14 grid configurations by short name."""
+    """Resolve a ``--config`` short name (see :data:`CONFIG_NAMES`).
+
+    Covers the Figure 14 grid plus the Section 7.1 comparator designs;
+    ``fdipN`` selects the FDIP comparator at predecode depth ``N``.
+    """
+    from repro.frontend.comparators import COMPARATOR_NAMES
     from repro.frontend.config import FrontEndConfig, SkiaConfig
 
     if name == "base":
         return FrontEndConfig()
+    if name.startswith("fdip") and name[4:].isdigit():
+        return FrontEndConfig().with_fdip_depth(int(name[4:]))
+    if name in COMPARATOR_NAMES:
+        return FrontEndConfig().with_comparator(name)
     heads = name in ("skia", "both", "head")
     tails = name in ("skia", "both", "tail")
     return FrontEndConfig(skia=SkiaConfig(decode_heads=heads,

@@ -30,9 +30,14 @@ operations, in the same order, with the same counter updates as
 bit-identical (enforced over the full Figure-14 grid by
 ``tests/frontend/test_batch_equivalence.py``).  The object path remains
 the oracle; the kernel refuses lanes it cannot replicate exactly
-(attached event trace, timeline, attribution, or a comparator) via
+(attached event trace, timeline or attribution sink) via
 :func:`batch_supported`, and the harness falls back to the object path
-for those cells.
+for those cells -- counting and logging each fallback via
+:func:`note_fallback` so the ~4x slowdown is never silent.  Plain
+Section 7.1 comparator cells (no instrumentation attached) run on the
+kernel: the comparator's ``lookup``/``record``/``on_btb_miss`` hooks
+are bound locals called at exactly the object path's call sites, so
+comparator sweeps keep the fast path.
 
 Enabled by default; ``REPRO_BATCH=0`` disables it everywhere (see
 :func:`repro.workloads.compiled.batch_enabled`).
@@ -40,6 +45,7 @@ Enabled by default; ``REPRO_BATCH=0`` disables it everywhere (see
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 
 from repro.core.sbb import SBBEntry
@@ -155,18 +161,73 @@ def _lane_rows(table, simulator):
     return rows
 
 
-def batch_supported(simulator: FrontEndSimulator) -> bool:
-    """Can this simulator's cell run on the batched kernel?
+def batch_unsupported_reason(simulator: FrontEndSimulator) -> str | None:
+    """Why this cell cannot run on the batched kernel (None = it can).
 
     The kernel skips the per-record instrumentation branches outright,
-    so any attached event trace, timeline or attribution sink -- and
-    the Section 7.1 comparators, whose hooks thread through the BPU
-    tree -- must take the object path.
+    so any attached event trace, timeline or attribution sink must take
+    the object path.  Section 7.1 comparator cells *are* supported: the
+    comparator hooks are plain bound calls the kernel inlines at the
+    object path's call sites.
     """
-    return (simulator.trace is None
-            and simulator.timeline is None
-            and simulator.attribution is None
-            and simulator.bpu.comparator is None)
+    # The attribution sink rides on an event trace, so check it first:
+    # its reason is the more specific one.
+    if simulator.attribution is not None:
+        return "attribution sink attached"
+    if simulator.trace is not None:
+        return "event trace attached"
+    if simulator.timeline is not None:
+        return "timeline recorder attached"
+    return None
+
+
+def batch_supported(simulator: FrontEndSimulator) -> bool:
+    """Can this simulator's cell run on the batched kernel?"""
+    return batch_unsupported_reason(simulator) is None
+
+
+# ----------------------------------------------------------------------
+# Fallback observability: unsupported cells silently cost ~4x, so the
+# harness reports every object-path fallback here (a process-wide count
+# per reason plus a one-time log line per reason per run).
+# ----------------------------------------------------------------------
+
+_log = logging.getLogger("repro.batch")
+_fallback_counts: dict[str, int] = {}
+_fallback_logged: set[str] = set()
+
+
+def note_fallback(reason: str) -> None:
+    """Record one cell degrading to the object path for ``reason``."""
+    _fallback_counts[reason] = _fallback_counts.get(reason, 0) + 1
+    if reason not in _fallback_logged:
+        _fallback_logged.add(reason)
+        _log.info("batched kernel unavailable (%s); affected cells run "
+                  "on the ~4x slower object path", reason)
+
+
+def note_object_fallback(simulator: FrontEndSimulator) -> None:
+    """Record that ``simulator``'s cell degraded to the object path.
+
+    Counts the reason process-wide (:func:`fallback_counts`), logs it
+    once per run, and registers a ``batch.object_path_fallback`` gauge
+    in the cell's own metrics registry so the degradation shows up in
+    its metric snapshot.
+    """
+    note_fallback(batch_unsupported_reason(simulator) or "unsupported cell")
+    simulator.metrics.scope("batch").gauge("object_path_fallback",
+                                           lambda: 1.0)
+
+
+def fallback_counts() -> dict[str, int]:
+    """Object-path fallbacks so far, keyed by reason."""
+    return dict(_fallback_counts)
+
+
+def reset_fallbacks() -> None:
+    """Clear fallback counts and re-arm the one-time log lines."""
+    _fallback_counts.clear()
+    _fallback_logged.clear()
 
 
 class _Lane:
@@ -258,6 +319,11 @@ class _Lane:
         ras_pop = bpu.ras.pop
         ras_push = bpu.ras.push
         train_side = bpu._train_side_predictors
+        comp = bpu.comparator
+        comp_on = comp is not None
+        comp_lookup = comp.lookup if comp_on else None
+        comp_record = comp.record if comp_on else None
+        comp_on_btb_miss = comp.on_btb_miss if comp_on else None
         skia_on = skia is not None
         heads_on = skia_on and skia.config.decode_heads
         tails_on = skia_on and skia.config.decode_tails
@@ -323,6 +389,7 @@ class _Lane:
         s_btb_miss_l1i_hit = 0
         s_sbb_lookups = 0
         s_sbb_misses = 0
+        s_comparator_hits = 0
         s_btb_false_hits = 0
         s_cond_predictions = 0
         s_cond_mispredicts = 0
@@ -385,9 +452,13 @@ class _Lane:
                     bway[btag] = entry
                     c_btb_hits += 1
 
+            centry = None
             sbb_result = None
-            if entry is None and skia_on:
-                sbb_result = sbb_lookup(branch_pc)
+            if entry is None:
+                if comp_on:
+                    centry = comp_lookup(branch_pc, branch_line_present)
+                if centry is None and skia_on:
+                    sbb_result = sbb_lookup(branch_pc)
 
             if counting:
                 s_btb_lookups += 1
@@ -398,7 +469,9 @@ class _Lane:
                     cnt_btb_misses[kcode] += 1
                     if branch_line_present:
                         s_btb_miss_l1i_hit += 1
-                    if skia_on:
+                    if centry is not None:
+                        s_comparator_hits += 1
+                    elif skia_on:
                         s_sbb_lookups += 1
                         if sbb_result is None:
                             s_sbb_misses += 1
@@ -409,8 +482,13 @@ class _Lane:
             used_sbb = False
             sbb_which = None
 
-            if entry is not None:
-                if entry.kind is not kind:
+            # A comparator hit rides the BTB-hit decision tree with the
+            # comparator's entry (the object path routes both through
+            # bpu._process_btb_hit); only the counting block above and
+            # the structure counters distinguish the two.
+            dentry = entry if entry is not None else centry
+            if dentry is not None:
+                if dentry.kind is not kind:
                     if counting:
                         s_btb_false_hits += 1
                     train_side(branch_pc, kind, taken, target,
@@ -435,7 +513,7 @@ class _Lane:
                         cause = "cond_mispredict"
                         wrong_pc = target if not taken else fallthrough
                 elif kind is k_uncond or kind is k_call:
-                    if entry.target != target:
+                    if dentry.target != target:
                         resteer = "decode"
                         cause = "btb_stale_target"
                         wrong_pc = fallthrough
@@ -506,6 +584,8 @@ class _Lane:
                         cause = "sbb_wrong_target"
                         wrong_pc = fallthrough
             else:
+                if comp_on:
+                    comp_on_btb_miss(first_line + entry_offset)
                 if kind is k_cond:
                     predicted = tage_update(branch_pc, taken)
                     if loop_on:
@@ -590,6 +670,8 @@ class _Lane:
                 bway[btag] = ientry
             if is_call[kcode]:
                 ras_push(fallthrough)
+            if comp_on:
+                comp_record(branch_pc, kind, btb_target)
             if used_sbb:
                 if sbb_mark_retired(branch_pc, sbb_which) and counting:
                     s_sbb_retired_marks += 1
@@ -841,6 +923,7 @@ class _Lane:
         stats_obj.btb_miss_l1i_hit += s_btb_miss_l1i_hit
         stats_obj.sbb_lookups += s_sbb_lookups
         stats_obj.sbb_misses += s_sbb_misses
+        stats_obj.comparator_hits += s_comparator_hits
         stats_obj.btb_false_hits += s_btb_false_hits
         stats_obj.cond_predictions += s_cond_predictions
         stats_obj.cond_mispredicts += s_cond_mispredicts
@@ -929,10 +1012,10 @@ class BatchedFrontEndSimulator:
                  compiled: CompiledTrace, warmup: int = 0) -> None:
         """Register one cell; raises :class:`BatchUnsupported` when the
         cell needs per-record instrumentation only the object loop has."""
-        if not batch_supported(simulator):
+        reason = batch_unsupported_reason(simulator)
+        if reason is not None:
             raise BatchUnsupported(
-                "cell has an event trace, timeline, attribution sink or "
-                "comparator attached; run it on the object path")
+                f"{reason}; run the cell on the object path")
         table = compiled.decode_table(simulator.config.line_size)
         self._lanes.append(_Lane(simulator, table, warmup))
 

@@ -78,8 +78,9 @@ class BranchPredictionUnit:
             self.loop = LoopPredictor(entries=config.loop_predictor_entries)
         self.ras = ReturnAddressStack(depth=config.ras_depth)
         self.skia = skia
-        # Optional Section 7.1 baseline (AirBTBLite or BoomerangLite),
-        # probed in parallel with the BTB like the SBB.
+        # Optional Section 7.1 baseline implementing the
+        # repro.frontend.comparators.Comparator protocol, probed in
+        # parallel with the BTB like the SBB.
         self.comparator = comparator
         #: Optional repro.obs.EventTrace; attached via the engine.
         self.trace = None
@@ -125,6 +126,9 @@ class BranchPredictionUnit:
             self.trace.emit("btb", pc=pc, hit=btb_hit,
                             branch_kind=kind.value,
                             resident=branch_line_in_l1i)
+            if not btb_hit and self.comparator is not None:
+                self.trace.emit("comparator", pc=pc,
+                                hit=comparator_entry is not None)
             if (not btb_hit and comparator_entry is None
                     and self.skia is not None):
                 self.trace.emit(
@@ -165,8 +169,7 @@ class BranchPredictionUnit:
             prediction = self._process_sbb_hit(pc, kind, taken, target,
                                                fallthrough, sbb_result, stats)
         else:
-            if (self.comparator is not None
-                    and hasattr(self.comparator, "on_btb_miss")):
+            if self.comparator is not None:
                 self.comparator.on_btb_miss(block_start)
             prediction = self._process_undetected(pc, kind, taken, target,
                                                   fallthrough, stats)
@@ -388,8 +391,7 @@ class BranchPredictionUnit:
         if kind.is_call:
             self.ras.push(fallthrough)
 
-        if (self.comparator is not None
-                and hasattr(self.comparator, "record")):
+        if self.comparator is not None:
             self.comparator.record(pc, kind, btb_target)
 
         if prediction.used_sbb and self.skia is not None:

@@ -1,9 +1,9 @@
 """Hardware baselines from the paper's related work (Section 7.1).
 
 Skia's quantitative comparisons in the paper are against BTB capacity
-(Figure 3); the related-work section argues *qualitatively* against two
-hardware alternatives.  Both are implemented here so the argument can be
-measured on the same substrate:
+(Figure 3); the related-work section argues *qualitatively* against
+hardware alternatives.  The alternatives are implemented here so the
+argument can be measured on the same substrate:
 
 * :class:`AirBTBLite` (Confluence, MICRO'15) -- tracks the branches of
   each cache line in metadata coupled to the L1-I: when a line's
@@ -20,22 +20,99 @@ measured on the same substrate:
   the shadow bytes -- the paper's Section 7.1 critique, reproduced
   structurally.
 
-Both are probed in parallel with the BTB, like the SBB, and can be
-enabled via ``FrontEndConfig.comparator``.
+* :class:`MicroBTBLite` (Micro-BTB, arXiv 2106.04205) -- a large
+  last-level BTB behind a small move-in buffer.  Committed branches fill
+  the last level grouped by cache line; a demand probe that misses the
+  move-in buffer but finds its line in the last level migrates the whole
+  line's entry group at once (a footprint-style batched fill), so one
+  miss warms every branch on the line.  Like AirBTB it only ever holds
+  branches that have executed, so shadow branches stay invisible to it.
+
+* :class:`FDIPDepthLite` ("FDIP Revisited", arXiv 2006.13547) -- the
+  Boomerang predecoder generalised with a prefetch *depth*: on a BTB
+  miss the walk continues across ``depth`` cache lines rather than
+  stopping at the first line boundary, trading predecode bandwidth for
+  timeliness.  ``depth=1`` degenerates to :class:`BoomerangLite`; the
+  harness sweeps depth to expose the timeliness/pollution trade-off.
+
+All comparators implement the :class:`Comparator` protocol, are probed
+in parallel with the BTB (like the SBB) and can be enabled via
+``FrontEndConfig.comparator``; builders live in :data:`COMPARATORS`.
 """
 
 from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
 
 from repro.frontend.btb import BTBEntry
 from repro.isa.branch import BranchKind
 from repro.isa.decoder import decode_at
 
+#: BTB entry cost in bits (Figure 12) used for size-budget accounting.
+ENTRY_BITS = 78
 
-class AirBTBLite:
+
+@runtime_checkable
+class Comparator(Protocol):
+    """The contract every Section 7.1 baseline implements.
+
+    ``lookup`` takes ``line_resident`` as a *required* positional so a
+    call site can never silently drop the residency signal (AirBTB needs
+    it; the others must still accept it).  ``record`` and
+    ``on_btb_miss`` are always present -- no-ops where a design has no
+    commit-time or miss-time behaviour -- so the BPU and the batched
+    kernel call them unconditionally instead of duck-typing.
+    """
+
+    lookups: int
+    hits: int
+
+    def lookup(self, pc: int, line_resident: bool) -> BTBEntry | None:
+        """Probe on a BTB miss; called in parallel with the BTB."""
+        ...
+
+    def record(self, pc: int, kind: BranchKind, target: int | None) -> None:
+        """Commit-time hook: a branch retired at ``pc``."""
+        ...
+
+    def on_btb_miss(self, entry_pc: int) -> None:
+        """Miss-time hook: the BTB had nothing for this fetch block."""
+        ...
+
+    @property
+    def size_bytes(self) -> float:
+        """Hardware budget of the structure, for ISO-budget tables."""
+        ...
+
+    def register_metrics(self, scope) -> None:
+        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        ...
+
+
+class ComparatorBase:
+    """Shared counters plus no-op hooks for the optional protocol parts."""
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+
+    def record(self, pc: int, kind: BranchKind, target: int | None) -> None:
+        pass
+
+    def on_btb_miss(self, entry_pc: int) -> None:
+        pass
+
+    def register_metrics(self, scope) -> None:
+        scope.gauge("lookups", lambda: self.lookups)
+        scope.gauge("hits", lambda: self.hits)
+
+
+class AirBTBLite(ComparatorBase):
     """Per-line branch metadata valid only while the line is L1-resident."""
 
     def __init__(self, line_size: int = 64, max_lines: int = 2048,
                  entries_per_line: int = 3):
+        super().__init__()
         self.line_size = line_size
         self.max_lines = max_lines
         self.entries_per_line = entries_per_line
@@ -43,7 +120,6 @@ class AirBTBLite:
         # per-line capacity and whole-structure LRU.
         self._lines: dict[int, dict[int, BTBEntry]] = {}
         self.records = 0
-        self.hits = 0
 
     def _line_of(self, pc: int) -> int:
         return pc & ~(self.line_size - 1)
@@ -70,6 +146,7 @@ class AirBTBLite:
 
     def lookup(self, pc: int, line_resident: bool) -> BTBEntry | None:
         """Probe; valid only when the caller confirms L1-I residency."""
+        self.lookups += 1
         if not line_resident:
             return None
         entries = self._lines.get(self._line_of(pc))
@@ -83,27 +160,26 @@ class AirBTBLite:
     @property
     def size_bytes(self) -> float:
         """78 bits per entry, as BTB entries (upper bound)."""
-        return self.max_lines * self.entries_per_line * 78 / 8
+        return self.max_lines * self.entries_per_line * ENTRY_BITS / 8
 
     def register_metrics(self, scope) -> None:
-        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        super().register_metrics(scope)
         scope.gauge("records", lambda: self.records)
-        scope.gauge("hits", lambda: self.hits)
         scope.gauge("lines", lambda: len(self._lines))
 
 
-class BoomerangLite:
+class BoomerangLite(ComparatorBase):
     """BTB prefetch buffer filled by miss-triggered line predecode."""
 
     def __init__(self, image: bytes, base_address: int,
                  line_size: int = 64, buffer_entries: int = 64):
+        super().__init__()
         self.image = image
         self.base_address = base_address
         self.line_size = line_size
         self.buffer_entries = buffer_entries
         self._buffer: dict[int, BTBEntry] = {}  # insertion-ordered FIFO
         self.predecodes = 0
-        self.hits = 0
 
     def on_btb_miss(self, entry_pc: int) -> None:
         """Predecode forward from the FTQ entry point to the line end.
@@ -134,9 +210,10 @@ class BoomerangLite:
             self._buffer.pop(next(iter(self._buffer)))
         self._buffer[pc] = BTBEntry(tag=pc, kind=kind, target=target)
 
-    def lookup(self, pc: int, line_resident: bool = True) -> BTBEntry | None:
+    def lookup(self, pc: int, line_resident: bool) -> BTBEntry | None:
         """Probe the prefetch buffer (``line_resident`` is ignored; the
         buffer is its own storage, unlike AirBTB's L1-coupled metadata)."""
+        self.lookups += 1
         entry = self._buffer.pop(pc, None)
         if entry is not None:
             # Boomerang migrates prefetch-buffer entries to the BTB on a
@@ -147,10 +224,219 @@ class BoomerangLite:
 
     @property
     def size_bytes(self) -> float:
-        return self.buffer_entries * 78 / 8
+        return self.buffer_entries * ENTRY_BITS / 8
 
     def register_metrics(self, scope) -> None:
-        """Expose counters as lazily-sampled gauges (repro.obs)."""
+        super().register_metrics(scope)
         scope.gauge("predecodes", lambda: self.predecodes)
-        scope.gauge("hits", lambda: self.hits)
         scope.gauge("buffered", lambda: len(self._buffer))
+
+
+class MicroBTBLite(ComparatorBase):
+    """Last-level BTB with footprint-style line-batched move-in fills.
+
+    Committed branches land in a large last level grouped by cache line
+    (whole-structure line LRU).  Demand probes see only the small
+    move-in buffer; a probe whose line is absent there but present in
+    the last level migrates the *entire* line group into the buffer --
+    the Micro-BTB observation that branch footprints are line-clustered,
+    so one fill warms every branch on the line, not just the missing pc.
+    The migration is inclusive (the last level keeps its copy), keeping
+    replacement deterministic.
+    """
+
+    def __init__(self, line_size: int = 64, max_lines: int = 8192,
+                 entries_per_line: int = 3, fill_lines: int = 64):
+        super().__init__()
+        self.line_size = line_size
+        self.max_lines = max_lines
+        self.entries_per_line = entries_per_line
+        self.fill_lines = fill_lines
+        # Last level: line address -> {pc: BTBEntry}, line-LRU ordered.
+        self._lines: dict[int, dict[int, BTBEntry]] = {}
+        # Move-in buffer: same shape, capacity ``fill_lines`` lines.
+        self._fill: dict[int, dict[int, BTBEntry]] = {}
+        self.records = 0
+        self.ll_hits = 0
+        self.line_fills = 0
+
+    def _line_of(self, pc: int) -> int:
+        return pc & ~(self.line_size - 1)
+
+    def record(self, pc: int, kind: BranchKind, target: int | None) -> None:
+        """Called at commit: file this branch under its line's group."""
+        line = self._line_of(pc)
+        entries = self._lines.get(line)
+        if entries is None:
+            if len(self._lines) >= self.max_lines:
+                evicted = next(iter(self._lines))
+                self._lines.pop(evicted)
+                # The move-in buffer is inclusive of the last level;
+                # dropping the backing group invalidates the copy too.
+                self._fill.pop(evicted, None)
+            entries = {}
+            self._lines[line] = entries
+        else:
+            del self._lines[line]  # touch for line LRU
+            self._lines[line] = entries
+        if pc in entries:
+            del entries[pc]
+        elif len(entries) >= self.entries_per_line:
+            entries.pop(next(iter(entries)))
+        entries[pc] = BTBEntry(tag=pc, kind=kind, target=target)
+        # Keep an already-migrated line coherent with the last level.
+        if line in self._fill:
+            self._fill[line] = dict(entries)
+        self.records += 1
+
+    def lookup(self, pc: int, line_resident: bool) -> BTBEntry | None:
+        """Probe the move-in buffer; on a line miss, batch-fill from the
+        last level (``line_resident`` is ignored; the structure is its
+        own storage)."""
+        self.lookups += 1
+        line = self._line_of(pc)
+        group = self._fill.get(line)
+        if group is None:
+            backing = self._lines.get(line)
+            if backing is None:
+                return None
+            # Footprint-style fill: migrate the whole line group.
+            self.ll_hits += 1
+            self.line_fills += 1
+            if len(self._fill) >= self.fill_lines:
+                self._fill.pop(next(iter(self._fill)))
+            group = dict(backing)
+            self._fill[line] = group
+        else:
+            del self._fill[line]  # touch for line LRU
+            self._fill[line] = group
+        entry = group.get(pc)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    @property
+    def size_bytes(self) -> float:
+        """Last level plus move-in buffer, as 78-bit BTB entries."""
+        return ((self.max_lines + self.fill_lines)
+                * self.entries_per_line * ENTRY_BITS / 8)
+
+    def register_metrics(self, scope) -> None:
+        super().register_metrics(scope)
+        scope.gauge("records", lambda: self.records)
+        scope.gauge("ll_hits", lambda: self.ll_hits)
+        scope.gauge("line_fills", lambda: self.line_fills)
+        scope.gauge("lines", lambda: len(self._lines))
+        scope.gauge("buffered_lines", lambda: len(self._fill))
+
+
+class FDIPDepthLite(BoomerangLite):
+    """Boomerang's predecoder with an FDIP-revisited prefetch depth.
+
+    On a BTB miss the walk runs from the FTQ entry point across
+    ``depth`` cache lines instead of stopping at the first boundary:
+    deeper walks predecode branches further ahead of the fetch stream
+    (better timeliness) at the cost of more predecode work and buffer
+    pressure from lines the stream may never reach.  ``depth=1`` is
+    exactly :class:`BoomerangLite`.
+    """
+
+    def __init__(self, image: bytes, base_address: int,
+                 line_size: int = 64, buffer_entries: int = 64,
+                 depth: int = 2):
+        if depth < 1:
+            raise ValueError(f"fdip depth must be >= 1, got {depth}")
+        super().__init__(image, base_address,
+                         line_size=line_size, buffer_entries=buffer_entries)
+        self.depth = depth
+
+    def on_btb_miss(self, entry_pc: int) -> None:
+        """Predecode forward across ``depth`` lines from the entry point."""
+        self.predecodes += 1
+        walk_end = ((entry_pc & ~(self.line_size - 1))
+                    + self.depth * self.line_size)
+        offset = entry_pc - self.base_address
+        limit = min(walk_end - self.base_address, len(self.image))
+        while offset < limit:
+            decoded = decode_at(self.image, offset,
+                                pc=self.base_address + offset, limit=limit)
+            if decoded is None:
+                break
+            if decoded.kind.is_branch:
+                self._insert(decoded.pc, decoded.kind, decoded.target)
+            offset += decoded.length
+
+    def register_metrics(self, scope) -> None:
+        super().register_metrics(scope)
+        scope.gauge("depth", lambda: self.depth)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def _build_airbtb(program, config) -> AirBTBLite:
+    return AirBTBLite(line_size=config.line_size,
+                      max_lines=config.airbtb_max_lines,
+                      entries_per_line=config.airbtb_entries_per_line)
+
+
+def _build_boomerang(program, config) -> BoomerangLite:
+    return BoomerangLite(program.image, program.base_address,
+                         line_size=config.line_size,
+                         buffer_entries=config.boomerang_buffer_entries)
+
+
+def _build_microbtb(program, config) -> MicroBTBLite:
+    return MicroBTBLite(line_size=config.line_size,
+                        max_lines=config.microbtb_max_lines,
+                        entries_per_line=config.microbtb_entries_per_line,
+                        fill_lines=config.microbtb_fill_lines)
+
+
+def _build_fdip(program, config) -> FDIPDepthLite:
+    return FDIPDepthLite(program.image, program.base_address,
+                         line_size=config.line_size,
+                         buffer_entries=config.fdip_buffer_entries,
+                         depth=config.fdip_depth)
+
+
+#: name -> builder(program, config); the single source of truth for
+#: ``FrontEndConfig.comparator`` values.  Adding a design here makes it
+#: available to the engine, the CLI and the comparator-zoo grid.
+COMPARATORS = {
+    "airbtb": _build_airbtb,
+    "boomerang": _build_boomerang,
+    "microbtb": _build_microbtb,
+    "fdip": _build_fdip,
+}
+
+#: Valid ``FrontEndConfig.comparator`` names (sorted, for messages).
+COMPARATOR_NAMES = tuple(sorted(COMPARATORS))
+
+
+def build_comparator(name: str, program, config) -> Comparator:
+    """Instantiate a registered comparator for ``program``/``config``."""
+    try:
+        builder = COMPARATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown comparator {name!r}; known: {COMPARATOR_NAMES}"
+        ) from None
+    return builder(program, config)
+
+
+class _NullProgram:
+    """Stand-in program for size accounting; no design sizes by image."""
+
+    image = b""
+    base_address = 0
+
+
+def comparator_size_bytes(name: str, config) -> float:
+    """Hardware budget of comparator ``name`` under ``config``.
+
+    Sizes depend only on the config knobs, so a workload program is not
+    needed -- the zoo table uses this for its ISO-budget column.
+    """
+    return build_comparator(name, _NullProgram(), config).size_bytes

@@ -139,11 +139,20 @@ class FrontEndConfig:
     skia: SkiaConfig = field(default_factory=SkiaConfig.disabled)
 
     # --- Related-work comparators (Section 7.1 baselines) ---------------
-    # None | "airbtb" (Confluence-like) | "boomerang" (Boomerang-like).
+    # None or a name registered in repro.frontend.comparators.COMPARATORS:
+    # "airbtb" (Confluence-like), "boomerang" (Boomerang-like),
+    # "microbtb" (Micro-BTB last-level + line-batched fills) or "fdip"
+    # (FDIP-revisited prefetch-depth predecoder).  Every knob below is a
+    # dataclass field so it lands in the content-addressed store key.
     comparator: str | None = None
     airbtb_max_lines: int = 2048
     airbtb_entries_per_line: int = 3
     boomerang_buffer_entries: int = 64
+    microbtb_max_lines: int = 8192
+    microbtb_entries_per_line: int = 3
+    microbtb_fill_lines: int = 64
+    fdip_depth: int = 2
+    fdip_buffer_entries: int = 64
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -178,9 +187,18 @@ class FrontEndConfig:
         return replace(self, skia=skia)
 
     def with_comparator(self, name: str | None) -> "FrontEndConfig":
-        if name not in (None, "airbtb", "boomerang"):
-            raise ValueError(f"unknown comparator {name!r}")
+        if name is not None:
+            # Imported lazily: comparators pulls in the decoder stack,
+            # which this leaf config module must not depend on at import.
+            from repro.frontend.comparators import COMPARATOR_NAMES
+            if name not in COMPARATOR_NAMES:
+                raise ValueError(f"unknown comparator {name!r}; "
+                                 f"known: {COMPARATOR_NAMES}")
         return replace(self, comparator=name)
+
+    def with_fdip_depth(self, depth: int) -> "FrontEndConfig":
+        """The "fdip" comparator at a given prefetch depth (depth sweep)."""
+        return replace(self, comparator="fdip", fdip_depth=depth)
 
     def with_extra_btb_state(self, extra_bytes: float) -> "FrontEndConfig":
         """Grow the BTB by ``extra_bytes`` of state (ISO-budget baseline).

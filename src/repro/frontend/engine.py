@@ -130,17 +130,8 @@ class FrontEndSimulator:
         """Instantiate the optional Section 7.1 baseline mechanism."""
         if config.comparator is None:
             return None
-        from repro.frontend.comparators import AirBTBLite, BoomerangLite
-        if config.comparator == "airbtb":
-            return AirBTBLite(line_size=config.line_size,
-                              max_lines=config.airbtb_max_lines,
-                              entries_per_line=config.airbtb_entries_per_line)
-        if config.comparator == "boomerang":
-            return BoomerangLite(
-                image=program.image, base_address=program.base_address,
-                line_size=config.line_size,
-                buffer_entries=config.boomerang_buffer_entries)
-        raise ValueError(f"unknown comparator {config.comparator!r}")
+        from repro.frontend.comparators import build_comparator
+        return build_comparator(config.comparator, program, config)
 
     # ------------------------------------------------------------------
 

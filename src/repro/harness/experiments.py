@@ -530,13 +530,79 @@ def ablation_retired_bit(runner: ExperimentRunner,
 
 
 # ----------------------------------------------------------------------
+# Comparator zoo -- Section 7.1 measured as a cross-design grid
+# ----------------------------------------------------------------------
+
+#: FDIP-revisited prefetch-depth sweep (cache lines walked past the
+#: missing entry point; depth 1 degenerates to Boomerang).
+FDIP_DEPTHS = (1, 2, 4, 8)
+
+
+def _zoo_configs(base: FrontEndConfig,
+                 depths=FDIP_DEPTHS) -> dict[str, FrontEndConfig]:
+    """Label -> config for every design in the comparator-zoo grid."""
+    configs = {
+        "baseline": base,
+        "BTB+12.25KB": base.with_extra_btb_state(SBB_BUDGET_BYTES),
+        "Skia": base.with_skia(SkiaConfig()),
+        "AirBTB-lite": base.with_comparator("airbtb"),
+        "Boomerang-lite": base.with_comparator("boomerang"),
+        "MicroBTB-lite": base.with_comparator("microbtb"),
+    }
+    for depth in depths:
+        configs[f"FDIP-depth{depth}"] = base.with_fdip_depth(depth)
+    return configs
+
+
+def _zoo_extra_state(config: FrontEndConfig, base: FrontEndConfig) -> float:
+    """Front-end state (bytes) the design adds over the baseline BTB."""
+    from repro.frontend.comparators import comparator_size_bytes
+    if config.comparator is not None:
+        return comparator_size_bytes(config.comparator, config)
+    if config.skia is not None:
+        return config.skia.total_size_kib * 1024
+    return (config.btb_size_kib - base.btb_size_kib) * 1024
+
+
+def comparator_zoo(runner: ExperimentRunner, workloads=WORKLOAD_NAMES,
+                   depths=FDIP_DEPTHS) -> dict:
+    """Skia vs bigger-BTB vs Micro-BTB vs FDIP-depth in one grid.
+
+    The paper's Section 7.1 argues qualitatively that prior hardware
+    schemes miss cold shadow branches; this grid measures every design
+    on the same substrate, with each design's extra front-end state
+    alongside its geomean IPC gain so the table reads as gain-per-KB.
+    The FDIP rows sweep predecode depth to expose the
+    timeliness-vs-buffer-pressure trade-off.
+    """
+    base = FrontEndConfig()
+    data = {}
+    rows = []
+    for label, config in _zoo_configs(base, depths=depths).items():
+        if config is base:
+            continue
+        ratios = _ipc_ratios(runner, config, base, workloads)
+        gain = geomean_speedup(list(ratios.values()))
+        extra = _zoo_extra_state(config, base)
+        data[label] = {"ratios": ratios, "gain": gain,
+                       "extra_state_bytes": extra}
+        rows.append([label, f"{extra / 1024:.2f}KB", pct(gain)])
+    render = format_table(
+        ["design", "extra state", "geomean gain"], rows,
+        title=("Comparator zoo: Skia vs bigger-BTB vs prior hardware "
+               "schemes (Section 7.1, measured)"))
+    return {"data": data, "render": render}
+
+
+# ----------------------------------------------------------------------
 # Batch planning -- enumerate the cells an exhibit will request
 # ----------------------------------------------------------------------
 
 def exhibit_cells(name: str, workloads=WORKLOAD_NAMES,
                   btb_sizes=BTB_SWEEP, splits=FIG17_SPLITS,
                   scales=FIG17_SCALES,
-                  limits=(1, 2, 4, 6, 12, 64)) -> list[Cell]:
+                  limits=(1, 2, 4, 6, 12, 64),
+                  depths=FDIP_DEPTHS) -> list[Cell]:
     """The (workload, config, bolted) cells exhibit ``name`` simulates.
 
     Mirrors the config enumeration inside each ``figN`` function, so a
@@ -587,6 +653,8 @@ def exhibit_cells(name: str, workloads=WORKLOAD_NAMES,
     elif name == "ablation-paths":
         configs = [base] + [base.with_skia(SkiaConfig(max_valid_paths=limit))
                             for limit in limits]
+    elif name == "comparator-zoo":
+        configs = list(_zoo_configs(base, depths=depths).values())
     elif name == "ablation-retired":
         configs = [base] + [base.with_skia(SkiaConfig(use_retired_bit=flag))
                             for flag in (True, False)]

@@ -152,7 +152,11 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
     same in-order event fold serial runs perform, so serial and parallel
     artifacts are byte-identical.
     """
-    from repro.frontend.batch import batch_supported, run_compiled_batched
+    from repro.frontend.batch import (
+        batch_supported,
+        note_object_fallback,
+        run_compiled_batched,
+    )
     from repro.frontend.engine import FrontEndSimulator
     from repro.workloads.cache import GLOBAL_CACHE
     from repro.workloads.compiled import batch_enabled, compiled_traces_enabled
@@ -193,12 +197,15 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
             if compiled is not None:
                 # The batched kernel wins even with a single lane
                 # (inlined loop, fused rows, local counters); cells the
-                # kernel cannot replicate bit-exactly (attribution
-                # attached, comparator, ...) fall back automatically.
+                # kernel cannot replicate bit-exactly (trace, timeline
+                # or attribution attached) fall back to the object loop,
+                # with the degradation counted and logged.
                 if batch_enabled() and batch_supported(simulator):
                     stats = run_compiled_batched(simulator, compiled,
                                                  warmup=scale.warmup)
                 else:
+                    if batch_enabled():
+                        note_object_fallback(simulator)
                     stats = simulator.run_compiled(compiled,
                                                    warmup=scale.warmup)
             else:

@@ -101,6 +101,14 @@ EXHIBITS = [
      "cold shadow branches.",
      "Quantified here: Skia >= Boomerang-lite > AirBTB-lite > baseline "
      "on the same substrate."),
+    ("comparator_zoo", "Comparator zoo — Micro-BTB and FDIP-depth "
+     "baselines",
+     "(not in the paper; extends the Section 7.1 argument)",
+     "Cross-design grid on the shared substrate: execution-history "
+     "designs (AirBTB-lite, MicroBTB-lite) and predecode designs "
+     "(Boomerang-lite, FDIP at depths 1/2/4/8) vs Skia and the "
+     "ISO-budget bigger BTB, with each design's extra front-end state "
+     "accounted next to its geomean gain."),
     ("ablation_index_policy", "Ablation — Valid Index policy",
      "First Index empirically best (Section 3.2.2).",
      "Reproduced: First at least ties Zero/Merge."),

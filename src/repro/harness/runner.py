@@ -25,6 +25,7 @@ from typing import Sequence
 from repro.frontend.batch import (
     BatchedFrontEndSimulator,
     batch_supported,
+    note_object_fallback,
     run_compiled_batched,
 )
 from repro.frontend.config import FrontEndConfig
@@ -199,6 +200,8 @@ class ExperimentRunner:
                         stats = run_compiled_batched(
                             simulator, compiled, warmup=self.scale.warmup)
                     else:
+                        if batch_enabled():
+                            note_object_fallback(simulator)
                         stats = simulator.run_compiled(
                             compiled, warmup=self.scale.warmup)
                 else:
@@ -301,17 +304,31 @@ class ExperimentRunner:
                         workload, self.scale.records, seed=seed,
                         bolted=bolted)
                 batch = BatchedFrontEndSimulator()
-                simulators = []
+                lanes: list[tuple[Cell, FrontEndSimulator]] = []
+                fallbacks: list[tuple[Cell, FrontEndSimulator]] = []
                 for cell in pending:
                     simulator = FrontEndSimulator(program, cell.config,
                                                   seed=seed)
-                    batch.add_lane(simulator, compiled,
-                                   warmup=self.scale.warmup)
-                    simulators.append(simulator)
+                    if batch_supported(simulator):
+                        batch.add_lane(simulator, compiled,
+                                       warmup=self.scale.warmup)
+                        lanes.append((cell, simulator))
+                    else:
+                        # e.g. config.record_timeline attaches a recorder
+                        # at init; the kernel cannot replicate it, so the
+                        # cell runs the compiled object loop instead.
+                        note_object_fallback(simulator)
+                        fallbacks.append((cell, simulator))
                 with PROFILER.section("harness.simulate"):
                     stats_list = batch.run()
-                for cell, simulator, stats in zip(pending, simulators,
-                                                  stats_list):
+                    done = [(cell, simulator, stats)
+                            for (cell, simulator), stats in zip(lanes,
+                                                                stats_list)]
+                    done += [(cell, simulator,
+                              simulator.run_compiled(
+                                  compiled, warmup=self.scale.warmup))
+                             for cell, simulator in fallbacks]
+                for cell, simulator, stats in done:
                     metrics = simulator.metrics_snapshot()
                     self._results[cell.identity(self.scale)] = stats
                     self._metrics[cell.identity(self.scale)] = metrics

@@ -10,8 +10,8 @@ population behind Figure 14 -- made inspectable and diffable per branch
 instead of as one geomean.
 
 :class:`AttributionAggregator` is a pure *sink* over the structured
-event stream of :mod:`repro.obs.trace` (``btb`` / ``sbb`` / ``sbd`` /
-``resteer`` events).  Attach it live via
+event stream of :mod:`repro.obs.trace` (``btb`` / ``sbb`` /
+``comparator`` / ``sbd`` / ``resteer`` events).  Attach it live via
 ``FrontEndSimulator.attach_attribution`` -- sinks observe every emission
 regardless of the ring buffer's capacity, so live attribution never
 drops events -- or rebuild it offline from a JSONL dump with
@@ -81,6 +81,9 @@ class BranchAttribution:
     sbb_hits_u: int = 0
     sbb_hits_r: int = 0
     sbb_misses: int = 0
+    #: BTB misses a Section 7.1 comparator design claimed instead of the
+    #: SBB -- the cross-design analogue of an SBB rescue.
+    comparator_hits: int = 0
     decode_resteers: int = 0
     exec_resteers: int = 0
     resteer_counts: dict[str, int] = field(default_factory=dict)
@@ -89,6 +92,13 @@ class BranchAttribution:
     @property
     def sbb_hits(self) -> int:
         return self.sbb_hits_u + self.sbb_hits_r
+
+    @property
+    def rescues(self) -> int:
+        """BTB misses *some* covering structure absorbed (SBB half or a
+        comparator design) -- the design-agnostic rescue count that
+        makes offender tables comparable across designs."""
+        return self.sbb_hits_u + self.sbb_hits_r + self.comparator_hits
 
     @property
     def resteers(self) -> int:
@@ -108,7 +118,7 @@ class BranchAttribution:
         out: dict = {"pc": self.pc, "kind": self.kind, "shadow": self.shadow}
         for name in ("btb_lookups", "btb_misses", "btb_miss_l1i_hit",
                      "sbb_hits_u", "sbb_hits_r", "sbb_misses",
-                     "decode_resteers", "exec_resteers"):
+                     "comparator_hits", "decode_resteers", "exec_resteers"):
             value = getattr(self, name)
             if value:
                 out[name] = value
@@ -126,7 +136,7 @@ class BranchAttribution:
                   shadow=data.get("shadow", "?"))
         for name in ("btb_lookups", "btb_misses", "btb_miss_l1i_hit",
                      "sbb_hits_u", "sbb_hits_r", "sbb_misses",
-                     "decode_resteers", "exec_resteers"):
+                     "comparator_hits", "decode_resteers", "exec_resteers"):
             setattr(out, name, data.get(name, 0))
         out.resteer_counts = dict(data.get("resteer_counts", {}))
         out.resteer_cycles = dict(data.get("resteer_cycles", {}))
@@ -142,6 +152,7 @@ class LineAttribution:
     btb_misses: int = 0
     sbb_hits: int = 0
     sbb_misses: int = 0
+    comparator_hits: int = 0
     head_decodes: int = 0
     tail_decodes: int = 0
     head_discarded: int = 0
@@ -166,19 +177,21 @@ class LineAttribution:
 
     @property
     def rescued(self) -> int:
-        """Dynamic BTB misses on this line covered by an SBB hit."""
-        return self.sbb_hits
+        """Dynamic BTB misses on this line covered by an SBB or
+        comparator hit."""
+        return self.sbb_hits + self.comparator_hits
 
     @property
     def missed(self) -> int:
         """Dynamic BTB misses on this line nothing rescued."""
-        return self.btb_misses - self.sbb_hits
+        return self.btb_misses - self.sbb_hits - self.comparator_hits
 
     def to_jsonable(self) -> dict:
         out: dict = {"line": self.line}
         for name in ("btb_lookups", "btb_misses", "sbb_hits", "sbb_misses",
-                     "head_decodes", "tail_decodes", "head_discarded",
-                     "head_mask", "tail_mask", "shadow_branches_found"):
+                     "comparator_hits", "head_decodes", "tail_decodes",
+                     "head_discarded", "head_mask", "tail_mask",
+                     "shadow_branches_found"):
             value = getattr(self, name)
             if value:
                 out[name] = value
@@ -188,8 +201,9 @@ class LineAttribution:
     def from_jsonable(cls, data: dict) -> "LineAttribution":
         out = cls(line=data["line"])
         for name in ("btb_lookups", "btb_misses", "sbb_hits", "sbb_misses",
-                     "head_decodes", "tail_decodes", "head_discarded",
-                     "head_mask", "tail_mask", "shadow_branches_found"):
+                     "comparator_hits", "head_decodes", "tail_decodes",
+                     "head_discarded", "head_mask", "tail_mask",
+                     "shadow_branches_found"):
             setattr(out, name, data.get(name, 0))
         return out
 
@@ -252,6 +266,8 @@ class AttributionAggregator:
             self._on_btb(event)
         elif kind == "sbb":
             self._on_sbb(event)
+        elif kind == "comparator":
+            self._on_comparator(event)
         elif kind == "sbd":
             self._on_sbd(event)
         elif kind == "resteer":
@@ -307,6 +323,14 @@ class AttributionAggregator:
             branch.sbb_misses += 1
             line.sbb_misses += 1
 
+    def _on_comparator(self, event: dict) -> None:
+        # Emitted on every BTB miss when a comparator design is active;
+        # only hits roll up (a comparator miss is not an extra event
+        # population -- the SBB/undetected path accounts for the branch).
+        if event["hit"]:
+            self._branch(event["pc"]).comparator_hits += 1
+            self._line(event["pc"]).comparator_hits += 1
+
     def _on_sbd(self, event: dict) -> None:
         pc = event["pc"]
         line = self._line(pc)
@@ -348,6 +372,7 @@ class AttributionAggregator:
             "lines": len(self.lines),
             "btb_lookups": 0, "btb_misses": 0, "btb_miss_l1i_hit": 0,
             "sbb_hits_u": 0, "sbb_hits_r": 0, "sbb_misses": 0,
+            "comparator_hits": 0,
             "decode_resteers": 0, "exec_resteers": 0,
             "resteer_cycles_total": 0.0,
             "sbd_head_decodes": 0, "sbd_tail_decodes": 0,
@@ -361,6 +386,7 @@ class AttributionAggregator:
             out["sbb_hits_u"] += branch.sbb_hits_u
             out["sbb_hits_r"] += branch.sbb_hits_r
             out["sbb_misses"] += branch.sbb_misses
+            out["comparator_hits"] += branch.comparator_hits
             out["decode_resteers"] += branch.decode_resteers
             out["exec_resteers"] += branch.exec_resteers
             out["resteer_cycles_total"] += branch.cycles
@@ -538,7 +564,7 @@ def _summary_pairs(aggregator: AttributionAggregator) -> list[tuple[str, str]]:
     hits = int(totals["sbb_hits"])
     fraction = resident / misses if misses else 0.0
     rescue = hits / misses if misses else 0.0
-    return [
+    pairs = [
         ("workload", aggregator.workload),
         ("static branches attributed", str(int(totals["branches"]))),
         ("cache lines touched", str(int(totals["lines"]))),
@@ -548,6 +574,14 @@ def _summary_pairs(aggregator: AttributionAggregator) -> list[tuple[str, str]]:
         ("SBB rescues (U + R)",
          f"{hits} = {int(totals['sbb_hits_u'])} + "
          f"{int(totals['sbb_hits_r'])} ({rescue:.1%} of misses)"),
+    ]
+    comparator_hits = int(totals.get("comparator_hits", 0))
+    if comparator_hits:
+        comparator_rescue = comparator_hits / misses if misses else 0.0
+        pairs.append(("comparator rescues",
+                      f"{comparator_hits} "
+                      f"({comparator_rescue:.1%} of misses)"))
+    pairs += [
         ("resteers (decode + exec)",
          f"{int(totals['resteers_total'])} = "
          f"{int(totals['decode_resteers'])} + "
@@ -557,6 +591,7 @@ def _summary_pairs(aggregator: AttributionAggregator) -> list[tuple[str, str]]:
          f"{int(totals['sbd_head_decodes'])} / "
          f"{int(totals['sbd_tail_decodes'])}"),
     ]
+    return pairs
 
 
 def _cause_rows(aggregator: AttributionAggregator) -> list[list]:
@@ -740,16 +775,19 @@ def diff_attributions(before: AttributionAggregator,
                    and delta > (min_pct / 100.0) * before_cycles)
         if before_cycles == after_cycles and b and a:
             # Unmoved branch: keep the diff focused on movement.
+            # ``rescues`` folds SBB and comparator hits together, so a
+            # cross-design diff (e.g. Skia vs Micro-BTB) still surfaces
+            # a branch whose coverage merely changed hands.
             if (b.btb_misses == a.btb_misses
-                    and b.sbb_hits == a.sbb_hits):
+                    and b.rescues == a.rescues):
                 continue
         deltas.append(BranchDelta(
             pc=pc, kind=reference.kind, shadow=reference.shadow,
             before_cycles=before_cycles, after_cycles=after_cycles,
             before_misses=b.btb_misses if b else 0,
             after_misses=a.btb_misses if a else 0,
-            before_rescues=b.sbb_hits if b else 0,
-            after_rescues=a.sbb_hits if a else 0,
+            before_rescues=b.rescues if b else 0,
+            after_rescues=a.rescues if a else 0,
             flagged=flagged))
     deltas.sort(key=lambda delta: (-abs(delta.delta_cycles), delta.pc))
     return AttributionDiff(deltas=deltas, min_cycles=min_cycles,

@@ -180,6 +180,27 @@ def _check_sbb_hit_miss_partition(s: Snapshot) -> str | None:
                "sbb_hits_u + sbb_hits_r + sbb_misses")
 
 
+def _check_comparator_hits_bounded(s: Snapshot) -> str | None:
+    # The comparator is probed only on BTB misses, so its counted hits
+    # can never exceed them.
+    return _le(s, "sim.comparator_hits", "sim.btb_misses_total")
+
+
+def _check_comparator_structure_bounds(s: Snapshot) -> str | None:
+    # Structure hits are a subset of structure probes, and the
+    # post-warm-up counted hits are a subset of whole-run structure hits
+    # (same cross-layer reasoning as cross_layer_bounds).
+    message = _le(s, "comparator.hits", "comparator.lookups")
+    if message:
+        return message
+    return _le(s, "sim.comparator_hits", "comparator.hits")
+
+
+def _check_attribution_comparator(s: Snapshot) -> str | None:
+    return _eq(s, "attrib.comparator_hits", s["sim.comparator_hits"],
+               "sim.comparator_hits")
+
+
 def _check_sbb_outcomes_bounded(s: Snapshot) -> str | None:
     for small in ("sim.sbb_wrong_target", "sim.sbb_retired_marks"):
         message = _le(s, small, "sim.sbb_hits_total")
@@ -362,6 +383,18 @@ INVARIANTS: tuple[Invariant, ...] = (
               "every SBB probe is exactly one hit or one miss",
               _check_sbb_hit_miss_partition, requires=_SBB_SIM,
               flags=("config.skia_enabled",)),
+    Invariant("comparator_hits_bounded",
+              "comparator hits are a subset of BTB misses (the probe "
+              "happens only on a miss)",
+              _check_comparator_hits_bounded,
+              requires=("sim.comparator_hits", "sim.btb_misses_total"),
+              flags=("config.comparator_enabled",)),
+    Invariant("comparator_structure_bounds",
+              "comparator structure hits bounded by probes; counted "
+              "post-warm-up hits bounded by whole-run structure hits",
+              _check_comparator_structure_bounds,
+              requires=("comparator.hits", "comparator.lookups",
+                        "sim.comparator_hits")),
     Invariant("sbb_outcomes_bounded",
               "wrong-target and retired-mark events are subsets of hits",
               _check_sbb_outcomes_bounded,
@@ -416,6 +449,12 @@ INVARIANTS: tuple[Invariant, ...] = (
                         "attrib.sbb_hits_r", "attrib.sbb_misses")
               + _SBB_SIM,
               flags=("config.skia_enabled",)),
+    Invariant("attribution_comparator_conservation",
+              "per-branch comparator attribution sums exactly to the "
+              "aggregate comparator hit counter",
+              _check_attribution_comparator,
+              requires=("attrib.comparator_hits", "sim.comparator_hits"),
+              flags=("config.comparator_enabled",)),
     Invariant("attribution_resteer_conservation",
               "per-branch resteer attribution (total, per stage, per "
               "cause) sums exactly to the aggregate resteer counters",

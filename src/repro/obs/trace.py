@@ -12,6 +12,8 @@ kind       fields
 ``btb``    ``pc``, ``hit``, ``branch_kind``, ``resident`` (branch
            line L1I-resident at lookup -- the Figure 1/15 gate)
 ``sbb``    ``pc``, ``hit``, ``which`` (``"u"``/``"r"``/``None``)
+``comparator`` ``pc``, ``hit`` (Section 7.1 baseline probe on a BTB
+           miss; emitted only when a comparator design is enabled)
 ``sbd``    ``side`` (``"head"``/``"tail"``), ``pc``, ``branches``,
            ``discarded``, ``valid_paths`` (head only)
 ``resteer````pc``, ``stage`` (``"decode"``/``"exec"``), ``cause``,

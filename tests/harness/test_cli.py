@@ -16,7 +16,8 @@ class TestParser:
 
     def test_experiment_names_cover_all_figures(self):
         for name in ("fig1", "fig3", "fig6", "fig13", "fig14", "fig15",
-                     "fig16", "fig17", "fig18", "bolt", "bogus"):
+                     "fig16", "fig17", "fig18", "bolt", "bogus",
+                     "comparator-zoo"):
             assert name in EXPERIMENTS
 
     def test_requires_command(self):
@@ -69,6 +70,23 @@ class TestStatsParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stats", "run", "voter",
                                        "--config", "bogus"])
+
+    def test_comparator_configs_accepted(self):
+        """Both run parsers expose the Section 7.1 comparator configs."""
+        for name in ("airbtb", "boomerang", "microbtb", "fdip", "fdip4"):
+            args = build_parser().parse_args(
+                ["stats", "run", "voter", "--config", name])
+            assert args.config == name
+            args = build_parser().parse_args(
+                ["attrib", "run", "voter", "--config", name])
+            assert args.config == name
+
+    def test_comparator_config_resolution(self):
+        from repro.cli import _stats_config
+        assert _stats_config("microbtb").comparator == "microbtb"
+        fdip8 = _stats_config("fdip8")
+        assert fdip8.comparator == "fdip"
+        assert fdip8.fdip_depth == 8
 
     def test_check_validates_workload_names(self):
         # Regression: --workloads used to accept any string silently.

@@ -182,6 +182,110 @@ class TestAttributionGrid:
             json.dumps(payload, sort_keys=True))
 
 
+#: Comparator grid: every Section 7.1 design over two workloads, at a
+#: BTB small enough that the designs actually rescue misses.  Dedicated
+#: scale for the same reason as the attribution grid.
+COMPARATOR_SCALE = Scale("comparator-grid", records=3_000, warmup=1_000)
+
+COMPARATOR_CONFIGS = {
+    name: FrontEndConfig().with_btb_entries(256).with_comparator(name)
+    for name in ("airbtb", "boomerang", "microbtb", "fdip")
+}
+
+COMPARATOR_WORKLOADS = ("voter", "kafka")
+
+
+@pytest.fixture(scope="module")
+def comparator_grid():
+    """{(workload, design): (metrics, attribution payload)} per cell."""
+    runner = ExperimentRunner(scale=COMPARATOR_SCALE,
+                              record_attribution=True)
+    cells = [Cell(workload, config)
+             for workload in COMPARATOR_WORKLOADS
+             for config in COMPARATOR_CONFIGS.values()]
+    runner.run_cells(cells, jobs=1)
+    grid = {}
+    for workload in COMPARATOR_WORKLOADS:
+        for name, config in COMPARATOR_CONFIGS.items():
+            grid[(workload, name)] = (
+                runner.metrics_for(workload, config),
+                runner.attribution_for(workload, config))
+    return grid
+
+
+class TestComparatorGrid:
+    """Comparator cells register their metrics and satisfy the
+    comparator conservation invariants over a Fig-14-style grid."""
+
+    def test_comparator_metrics_registered(self, comparator_grid):
+        for (workload, name), (metrics, _) in comparator_grid.items():
+            assert metrics is not None, (workload, name)
+            assert "comparator.lookups" in metrics, (workload, name)
+            assert "comparator.hits" in metrics, (workload, name)
+            assert metrics["config.comparator_enabled"] == 1.0
+
+    def test_design_specific_gauges_present(self, comparator_grid):
+        metrics, _ = comparator_grid[("voter", "microbtb")]
+        assert "comparator.line_fills" in metrics
+        assert "comparator.ll_hits" in metrics
+        metrics, _ = comparator_grid[("voter", "fdip")]
+        assert metrics["comparator.depth"] == 2.0
+        assert "comparator.predecodes" in metrics
+
+    def test_every_cell_passes_every_invariant(self, comparator_grid):
+        failures = []
+        for (workload, name), (metrics, payload) in comparator_grid.items():
+            merged = dict(metrics)
+            merged.update(
+                AttributionAggregator.from_jsonable(payload).snapshot())
+            for violation in check_snapshot(merged):
+                failures.append(
+                    f"{workload}/{name}: {violation.invariant}: "
+                    f"{violation.message}")
+        assert failures == [], "\n".join(failures)
+
+    def test_comparator_invariants_are_exercised(self, comparator_grid):
+        metrics, payload = comparator_grid[("voter", "fdip")]
+        merged = dict(metrics)
+        merged.update(AttributionAggregator.from_jsonable(payload).snapshot())
+        names = applicable_invariants(merged)
+        assert "comparator_hits_bounded" in names
+        assert "comparator_structure_bounds" in names
+        assert "attribution_comparator_conservation" in names
+        # Comparator-less cells never see these invariants.
+        base_runner = ExperimentRunner(scale=COMPARATOR_SCALE)
+        base_runner.run("voter", FrontEndConfig())
+        base_metrics = base_runner.metrics_for("voter", FrontEndConfig())
+        base_names = applicable_invariants(base_metrics)
+        assert "comparator_structure_bounds" not in base_names
+        assert "attribution_comparator_conservation" not in base_names
+
+    def test_predecode_designs_rescue_misses(self, comparator_grid):
+        """The grid is not vacuous: the predecode designs produce hits,
+        and the per-branch rollup attributes exactly that many."""
+        for design in ("boomerang", "fdip"):
+            metrics, payload = comparator_grid[("voter", design)]
+            assert metrics["sim.comparator_hits"] > 0, design
+            totals = AttributionAggregator.from_jsonable(payload).totals()
+            assert (totals["comparator_hits"]
+                    == metrics["sim.comparator_hits"]), design
+
+    def test_cross_design_attrib_diff(self, comparator_grid):
+        """Offender tables compare *across designs*: a comparator's
+        rescues count against the same per-branch population as Skia's."""
+        from repro.obs.attribution import diff_attributions
+
+        _, before_payload = comparator_grid[("voter", "airbtb")]
+        _, after_payload = comparator_grid[("voter", "fdip")]
+        before = AttributionAggregator.from_jsonable(before_payload)
+        after = AttributionAggregator.from_jsonable(after_payload)
+        diff = diff_attributions(before, after)
+        render = diff.render()
+        assert "d_rescue" in render
+        # fdip rescues branches airbtb cannot, so some branch moved.
+        assert diff.deltas
+
+
 class TestSerialParallelAgreement:
     """Persisted snapshots and attribution artifacts must not depend on
     the execution strategy."""
