@@ -6,7 +6,7 @@ SCALE ?= quick
 JOBS ?= 1
 
 .PHONY: install test bench bench-smoke bench-trajectory trace report \
-	examples clean clean-cache
+	examples clean clean-cache clean-runs
 
 install:
 	$(PYTHON) setup.py develop
@@ -47,6 +47,10 @@ examples:
 	$(PYTHON) examples/btb_scaling_study.py
 
 clean:
+	# Run ledgers first (manifest/spans/profile JSONL under runs/),
+	# then the rest of the cache; listed separately so `clean` keeps
+	# sweeping ledgers even if the cache layout changes.
+	rm -rf .repro_cache/runs
 	rm -rf .pytest_cache benchmarks/bench_results .repro_cache
 	rm -f BENCH_*.json.tmp
 	find . -name __pycache__ -type d -exec rm -rf {} +
@@ -58,3 +62,8 @@ clean:
 # includes the compiled-trace spill area (.repro_cache/compiled).
 clean-cache:
 	rm -rf .repro_cache
+
+# Drop only recorded run ledgers (`python -m repro runs list`), keeping
+# the simulation result store warm.
+clean-runs:
+	rm -rf .repro_cache/runs

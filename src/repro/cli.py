@@ -22,11 +22,23 @@ Commands
                   ``BENCH_<date>.json`` (``bench run``) and diff two
                   trajectory files with regression gates
                   (``bench compare``).
+``runs``       -- the run ledger: list recorded harness runs
+                  (``runs list``) or inspect one (``runs show``) --
+                  per-cell lifecycle, span/profiler conservation
+                  checks, merged Perfetto trace export.
+``metrics``    -- export saved metric snapshots in Prometheus text
+                  exposition format (``metrics export``).
+
+Harness commands that simulate (``experiment``, ``stats run/check``,
+``attrib run``, ``bench run``) record a run ledger under
+``.repro_cache/runs/<run_id>/`` by default; set ``REPRO_LEDGER=0`` to
+disable.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import quick_compare
@@ -270,6 +282,47 @@ def build_parser() -> argparse.ArgumentParser:
                       help="record count (default: scale's records)")
     info = trace_sub.add_parser("info", help="summarise a trace file")
     info.add_argument("path")
+
+    runs = sub.add_parser(
+        "runs", help="list or inspect recorded run ledgers")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="list recorded runs, newest first")
+    runs_list.add_argument("--root", metavar="DIR", default=None,
+                           help="runs root (default: REPRO_CACHE_DIR or "
+                                ".repro_cache, /runs)")
+    runs_show = runs_sub.add_parser(
+        "show", help="inspect one run's manifest; exits non-zero when "
+                     "cells are missing a terminal state or --check "
+                     "finds a conservation violation")
+    runs_show.add_argument("run_id", nargs="?", default=None,
+                           help="run id (default: the latest run)")
+    runs_show.add_argument("--latest", action="store_true",
+                           help="select the most recent run")
+    runs_show.add_argument("--cells", action="store_true",
+                           help="print the per-cell lifecycle table")
+    runs_show.add_argument("--check", action="store_true",
+                           help="verify span<->profiler and span<->cell "
+                                "conservation over the run artifacts")
+    runs_show.add_argument("--perfetto", metavar="OUT", default=None,
+                           help="merge spans + pipeline timelines into "
+                                "one Perfetto-loadable trace file")
+    runs_show.add_argument("--root", metavar="DIR", default=None,
+                           help="runs root (default: REPRO_CACHE_DIR or "
+                                ".repro_cache, /runs)")
+
+    metrics = sub.add_parser(
+        "metrics", help="export metric snapshots for external tooling")
+    metrics_sub = metrics.add_subparsers(dest="metrics_command",
+                                         required=True)
+    metrics_export = metrics_sub.add_parser(
+        "export", help="render saved snapshots (stats run --dump) in "
+                       "Prometheus text exposition format")
+    metrics_export.add_argument("snapshots", nargs="+", metavar="SNAPSHOT",
+                                help="snapshot JSON files; several are "
+                                     "merged (counters summed) first")
+    metrics_export.add_argument("--out", metavar="PATH", default=None,
+                                help="write to a file instead of stdout")
     return parser
 
 
@@ -350,26 +403,56 @@ def _print_violations(violations, label: str) -> None:
 
 
 def _run_stats_run(args) -> int:
+    import time
+
     from repro.frontend.engine import FrontEndSimulator
-    from repro.obs import (EventTrace, TimelineRecorder,
+    from repro.obs import (PROFILER, EventTrace, TimelineRecorder,
                            applicable_invariants, check_snapshot,
                            render_snapshot, save_snapshot)
+    from repro.obs import ledger as ledger_mod
+    from repro.obs import spans as spans_mod
     from repro.workloads.cache import build_trace
 
     scale = SCALES[args.scale] if args.scale else current_scale()
     config = _stats_config(args.config)
-    program = build_program(args.workload)
-    records = build_trace(args.workload, scale.records)
-    simulator = FrontEndSimulator(program, config)
-    trace = None
-    if args.trace_out:
-        trace = EventTrace(capacity=args.trace_capacity)
-        simulator.attach_trace(trace)
-    timeline = None
-    if args.timeline_out:
-        timeline = TimelineRecorder()
-        simulator.attach_timeline(timeline)
-    simulator.run(records, warmup=scale.warmup)
+    ledger = ledger_mod.active_ledger()
+    cell_id = None
+    if ledger is not None:
+        cell_id = ledger_mod.cell_id_for(args.workload, config, 0, False)
+        ledger.grid(cells=1, submitted=1, jobs=1)
+        ledger.cell(cell_id, "queued")
+        ledger.cell(cell_id, "store_probe", hit=False, store=False)
+        spans_mod.set_cell(cell_id)
+    started = time.monotonic()
+    try:
+        with PROFILER.section("harness.cell"):
+            with PROFILER.section("harness.workload"):
+                program = build_program(args.workload)
+                records = build_trace(args.workload, scale.records)
+            if ledger is not None:
+                ledger.cell(cell_id, "prepare", source="compile")
+            simulator = FrontEndSimulator(program, config)
+            trace = None
+            if args.trace_out:
+                trace = EventTrace(capacity=args.trace_capacity)
+                simulator.attach_trace(trace)
+            timeline = None
+            if args.timeline_out:
+                timeline = TimelineRecorder()
+                simulator.attach_timeline(timeline)
+            with PROFILER.section("harness.simulate"):
+                simulator.run(records, warmup=scale.warmup)
+            if ledger is not None:
+                ledger.cell(cell_id, "simulate", mode="object",
+                            fallback_reason=None)
+    except Exception as error:
+        if ledger is not None:
+            ledger.cell(cell_id, "error", error=repr(error))
+        raise
+    finally:
+        spans_mod.set_cell(None)
+    if ledger is not None:
+        ledger.group([cell_id], mode="stats")
 
     snapshot = simulator.metrics_snapshot()
     print(render_snapshot(
@@ -386,11 +469,21 @@ def _run_stats_run(args) -> int:
               f"dropped -> {args.trace_out}")
     if timeline is not None:
         timeline.to_chrome(args.timeline_out)
+        if ledger is not None:
+            # Also file the chrome export with the run, so `repro runs
+            # show --perfetto` merges it with the harness spans.
+            timeline.to_chrome(ledger.timeline_path(cell_id))
         print(f"timeline: {timeline.emitted} events emitted, "
               f"{timeline.dropped} dropped -> {args.timeline_out} "
               f"(load in Perfetto / chrome://tracing)")
 
     violations = check_snapshot(snapshot)
+    if ledger is not None:
+        ledger.cell(cell_id, "invariants",
+                    violations=[v.invariant for v in violations])
+        ledger.cell(cell_id, "done", result="simulated", spanned=True,
+                    mode="object", fallback_reason=None,
+                    wall_s=round(time.monotonic() - started, 6))
     if violations:
         _print_violations(violations, f"{args.workload}/{args.config}")
         return 1
@@ -704,8 +797,142 @@ def _run_trace(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _load_run_profiles(run_dir):
+    """``{pid: profiler snapshot delta}`` from ``profile-<pid>.json``."""
+    import json
+
+    profiles = {}
+    for path in sorted(run_dir.glob("profile-*.json")):
+        stem = path.stem  # profile-<pid>
+        try:
+            pid = int(stem.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        try:
+            profiles[pid] = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            continue
+    return profiles
+
+
+def _print_run_summary(summary) -> None:
+    results = summary.results()
+    outcome = (", ".join(f"{count} {label}" for label, count
+                         in sorted(results.items())) or "-")
+    print(f"run {summary.run_id}")
+    print(f"  command:  {summary.command or '-'}")
+    print(f"  created:  {summary.created or '-'}  "
+          f"(schema v{summary.schema_version})")
+    print(f"  status:   {summary.status}")
+    print(f"  cells:    {len(summary.cells)} seen / "
+          f"{summary.grid_cells} submitted ({outcome})")
+    print(f"  groups:   {summary.groups} harness.cell sections over "
+          f"{summary.group_cells} cells")
+    if summary.heartbeat_pids:
+        pids = ", ".join(str(pid) for pid in sorted(summary.heartbeat_pids))
+        print(f"  workers:  heartbeats from pid {pids}")
+    if summary.stragglers:
+        print(f"  stragglers: {', '.join(summary.stragglers)}")
+    if summary.incomplete:
+        print(f"  INCOMPLETE cells (no terminal state): "
+              f"{', '.join(summary.incomplete)}")
+
+
+def _run_runs(args) -> int:
+    from repro.obs import ledger as ledger_mod
+
+    if args.runs_command == "list":
+        summaries = ledger_mod.list_runs(args.root)
+        if not summaries:
+            print(f"no runs under {ledger_mod.runs_root(args.root)}")
+            return 0
+        for summary in summaries:
+            results = summary.results()
+            outcome = (",".join(f"{label}:{count}" for label, count
+                                in sorted(results.items())) or "-")
+            print(f"{summary.run_id}  {summary.status:12s} "
+                  f"{len(summary.cells):4d} cells  {outcome:24s} "
+                  f"{summary.command}")
+        return 0
+
+    # runs show
+    run_id = args.run_id
+    if run_id is None or args.latest:
+        run_id = ledger_mod.latest_run_id(args.root)
+        if run_id is None:
+            print(f"no runs under {ledger_mod.runs_root(args.root)}")
+            return 2
+    summary = ledger_mod.load_run(run_id, args.root)
+    if not summary.cells and summary.command == "":
+        print(f"no manifest for run {run_id} under "
+              f"{ledger_mod.runs_root(args.root)}")
+        return 2
+    _print_run_summary(summary)
+    failures = 1 if summary.incomplete else 0
+
+    if args.cells:
+        print("\n  cell                                     phases"
+              "                     result      wall")
+        for cell_id in sorted(summary.cells):
+            state = summary.cells[cell_id]
+            phases = ">".join(state.phases)
+            result = state.fields.get("result", state.terminal or "-")
+            wall = state.wall_s
+            wall_text = f"{wall:.3f}s" if wall is not None else "-"
+            flag = " STRAGGLER" if state.straggler else ""
+            print(f"  {cell_id:40s} {phases:26s} {result:11s} "
+                  f"{wall_text}{flag}")
+
+    if args.check:
+        from repro.obs import (check_cell_conservation,
+                               check_span_conservation, read_spans)
+        from repro.obs.ledger import read_manifest
+
+        records = read_manifest(summary.run_dir / "manifest.jsonl")
+        spans = read_spans(summary.run_dir / "spans.jsonl")
+        profiles = _load_run_profiles(summary.run_dir)
+        violations = (check_span_conservation(spans, profiles)
+                      + check_cell_conservation(records, spans))
+        if violations:
+            _print_violations(violations, run_id)
+            failures += len(violations)
+        else:
+            sections = sum(len(profile) for profile in profiles.values())
+            print(f"\n  conservation: {len(spans)} spans == profiler "
+                  f"totals over {sections} sections x "
+                  f"{len(profiles)} processes; cell coverage exact")
+
+    if args.perfetto:
+        from repro.obs import merge_run_trace
+
+        out = merge_run_trace(summary.run_dir, args.perfetto)
+        print(f"\n  merged Perfetto trace -> {out}")
+    return 1 if failures else 0
+
+
+def _run_metrics(args) -> int:
+    from repro.obs import load_snapshot, merge_snapshots, snapshot_to_prometheus
+
+    loaded = [load_snapshot(path) for path in args.snapshots]
+    if len(loaded) == 1:
+        snapshot, meta = loaded[0]
+        labels = {key: str(meta[key]) for key in ("workload", "config",
+                                                  "scale") if key in meta}
+        text = snapshot_to_prometheus(snapshot, labels=labels or None)
+    else:
+        merged = merge_snapshots([snapshot for snapshot, _ in loaded])
+        text = (f"# merged from {len(loaded)} snapshots\n"
+                + snapshot_to_prometheus(merged))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"prometheus text -> {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "compare":
         return _run_compare(args)
     if args.command == "experiment":
@@ -729,7 +956,51 @@ def main(argv: list[str] | None = None) -> int:
         return _run_bench(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "runs":
+        return _run_runs(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     return 2  # pragma: no cover - argparse enforces choices
+
+
+def _ledgered_command(args) -> str | None:
+    """The run-ledger command label, or ``None`` for unledgered commands.
+
+    Only entry points that simulate get a run: the inspection commands
+    (``runs``, ``metrics``, diffs, reports) would just clutter the runs
+    root with empty manifests.  ``--no-store`` keeps its contract of
+    leaving no ``.repro_cache/`` behind, so it suppresses the ledger
+    too (``REPRO_LEDGER=0``/``1`` still overrides either way).
+    """
+    if "REPRO_LEDGER" not in os.environ:
+        from repro.harness.store import store_enabled
+
+        if getattr(args, "no_store", False) or not store_enabled():
+            return None
+    if args.command == "experiment":
+        return f"experiment {args.name}"
+    if args.command == "stats":
+        if args.stats_command == "run":
+            return f"stats run {args.workload} --config {args.config}"
+        if args.stats_command == "check" and not args.snapshot:
+            return "stats check"
+        return None
+    if args.command == "attrib" and args.attrib_command == "run":
+        return f"attrib run {args.workload} --config {args.config}"
+    if args.command == "bench" and args.bench_command == "run":
+        return "bench run"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = _ledgered_command(args)
+    if command is not None:
+        from repro.obs.ledger import start_run
+
+        with start_run(command):
+            return _dispatch(args)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -206,17 +206,20 @@ def note_fallback(reason: str) -> None:
                   "on the ~4x slower object path", reason)
 
 
-def note_object_fallback(simulator: FrontEndSimulator) -> None:
+def note_object_fallback(simulator: FrontEndSimulator) -> str:
     """Record that ``simulator``'s cell degraded to the object path.
 
     Counts the reason process-wide (:func:`fallback_counts`), logs it
     once per run, and registers a ``batch.object_path_fallback`` gauge
     in the cell's own metrics registry so the degradation shows up in
-    its metric snapshot.
+    its metric snapshot.  Returns the reason so callers (the harness)
+    can attach it to the cell's run-ledger record.
     """
-    note_fallback(batch_unsupported_reason(simulator) or "unsupported cell")
+    reason = batch_unsupported_reason(simulator) or "unsupported cell"
+    note_fallback(reason)
     simulator.metrics.scope("batch").gauge("object_path_fallback",
                                            lambda: 1.0)
+    return reason
 
 
 def fallback_counts() -> dict[str, int]:

@@ -87,6 +87,13 @@ class FrontEndSimulator:
         self.bpu.trace = trace
         if self.skia is not None:
             self.skia.trace = trace
+        # Surface the ring's accounting in metric snapshots: before this,
+        # truncation was only visible in JSONL dump headers.  Gauges are
+        # sampled at snapshot time only, so tracing cost is unchanged.
+        trace_scope = self.metrics.scope("trace")
+        trace_scope.gauge("emitted", lambda: trace.emitted)
+        trace_scope.gauge("retained", lambda: len(trace))
+        trace_scope.gauge("dropped_events", lambda: trace.dropped)
 
     def attach_timeline(self, timeline: TimelineRecorder) -> None:
         """Enable pipeline timeline recording for subsequent ``run`` calls."""

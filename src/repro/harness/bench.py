@@ -106,12 +106,24 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
               jobs: int = 1, out: str | os.PathLike | None = None,
               ) -> tuple[dict, Path]:
     """Run the bench grid at ``scale``; write and return the payload."""
+    from repro.frontend.batch import fallback_counts
+    from repro.obs import ledger as ledger_mod
+
     figures = bench_grid(workloads)
     all_cells = [cell for cells in figures.values() for cell in cells]
 
+    ledger = ledger_mod.active_ledger()
     was_enabled = PROFILER.enabled
-    PROFILER.reset()
+    if ledger is None:
+        # Exclusive profiler ownership: reset so payload sections cover
+        # exactly this bench run.  Under a run ledger the profiler is
+        # already recording spans whose conservation check compares
+        # against the run-start baseline -- resetting would corrupt it,
+        # so the payload uses the baselined delta instead (equivalent:
+        # the ledger opened right before the bench started).
+        PROFILER.reset()
     PROFILER.enabled = True
+    fallbacks_before = fallback_counts()
     try:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
             # Phase 1: cold — every cell is fresh simulation.  The cold
@@ -183,8 +195,21 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
                     "speedup": round(unbatched_wall / batched_wall, 3),
                 })
     finally:
-        profiler_snapshot = PROFILER.snapshot()
+        profiler_snapshot = (ledger_mod.profile_delta() if ledger is not None
+                             else PROFILER.snapshot())
         PROFILER.enabled = was_enabled
+
+    # Object-path fallbacks this bench run caused, keyed by reason
+    # (delta over the process-wide counts).  The fig14 comparison phase
+    # intentionally forces the object path via REPRO_BATCH=0; those
+    # cells never consult the fallback accounting, so any count here is
+    # a genuine degradation (e.g. an attached sink).
+    fallbacks_after = fallback_counts()
+    batch_out["object_path_fallbacks"] = {
+        reason: count - fallbacks_before.get(reason, 0)
+        for reason, count in sorted(fallbacks_after.items())
+        if count - fallbacks_before.get(reason, 0)
+    }
 
     total_records = scale.records * len(all_cells)
     payload = {
@@ -342,6 +367,12 @@ def compare_bench(before: Mapping, after: Mapping,
         # Reported, never gating here: the hard >= 2x floor lives in the
         # component-throughput benchmark job (see benchmarks/).
         lines.append(f"batch speedup: {b_batch} -> {a_batch}")
+
+    b_fallbacks = before.get("batch", {}).get("object_path_fallbacks")
+    a_fallbacks = after.get("batch", {}).get("object_path_fallbacks")
+    if b_fallbacks != a_fallbacks and (b_fallbacks or a_fallbacks):
+        lines.append(f"object-path fallbacks: {b_fallbacks or {}} -> "
+                     f"{a_fallbacks or {}}")
 
     b_caches = before.get("caches", {})
     a_caches = after.get("caches", {})

@@ -31,6 +31,7 @@ exactly once per host instead of once per worker.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
@@ -44,6 +45,8 @@ from repro.harness.store import (
     default_store,
     result_key,
 )
+from repro.obs import ledger as ledger_mod
+from repro.obs import spans as spans_mod
 from repro.obs.profiler import PROFILER
 
 
@@ -126,11 +129,42 @@ def _attached_trace(trace_ref: tuple[str, str]):
     return cached
 
 
+#: Per-worker memo of attached run telemetry, keyed by (pid, run_dir);
+#: the pid guards against a fork inheriting the parent's entry.
+_WORKER_TELEMETRY: dict[tuple[int, str], "ledger_mod.RunLedger"] = {}
+
+
+def _worker_telemetry(run_dir: str) -> "ledger_mod.RunLedger":
+    """Attach this worker to the parent's run (memoised per process).
+
+    Opens the worker's own manifest/span descriptors on the shared run
+    directory (``O_APPEND`` writes interleave safely with every other
+    process of the run), installs the span recorder as the profiler
+    sink, and re-baselines the profiler so this worker's profile delta
+    covers only its own sections -- a forked worker inherits the
+    parent's accumulated sections, whose spans the *parent* already
+    recorded under its pid.
+    """
+    key = (os.getpid(), run_dir)
+    ledger = _WORKER_TELEMETRY.get(key)
+    if ledger is None:
+        ledger = ledger_mod.RunLedger.attach(run_dir)
+        recorder = spans_mod.SpanRecorder(ledger.spans_path)
+        ledger_mod.set_active(ledger)
+        spans_mod.set_active_recorder(recorder)
+        ledger_mod.set_profile_baseline(PROFILER.snapshot())
+        PROFILER.enabled = True
+        PROFILER.sink = recorder.on_section
+        _WORKER_TELEMETRY[key] = ledger
+    return ledger
+
+
 def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
                   bolted: bool, scale: Scale,
                   store_root: str | None = None,
                   record_attribution: bool = False,
-                  trace_ref: tuple[str, str] | None = None) -> SimStats:
+                  trace_ref: tuple[str, str] | None = None,
+                  run_dir: str | None = None) -> SimStats:
     """Run one cell exactly as the serial runner would.
 
     Module-level so it pickles into pool workers.  Consults/fills the
@@ -151,13 +185,59 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
     requesting attribution always produces it.  The aggregation is the
     same in-order event fold serial runs perform, so serial and parallel
     artifacts are byte-identical.
+
+    ``run_dir`` carries the parent's active run directory: the worker
+    attaches its own ledger/span telemetry to it (memoised per process)
+    and emits the same cell lifecycle the serial runner does -- minus
+    ``queued``, which the pool parent already recorded.
     """
+    ledger = ledger_mod.active_ledger()
+    if ledger is None and run_dir is not None:
+        ledger = _worker_telemetry(run_dir)
+    cell_id = None
+    if ledger is not None:
+        cell_id = ledger_mod.cell_id_for(workload, config, seed, bolted)
+        spans_mod.set_cell(cell_id)
+    started = time.monotonic()
+    try:
+        stats, outcome = _simulate_cell_body(
+            workload, config, seed, bolted, scale, store_root,
+            record_attribution, trace_ref, ledger, cell_id)
+    except Exception as exc:
+        if ledger is not None:
+            ledger.cell(cell_id, "error",
+                        error=f"{type(exc).__name__}: {exc}")
+            ledger_mod.checkpoint_telemetry(ledger)
+        raise
+    finally:
+        if ledger is not None:
+            spans_mod.set_cell(None)
+    if ledger is not None:
+        ledger.group([cell_id], mode="worker")
+        ledger.cell(cell_id, "done", spanned=True,
+                    wall_s=round(time.monotonic() - started, 6), **outcome)
+        ledger.heartbeat(cell=cell_id)
+        # Flush spans + persist this pid's profile delta after every
+        # cell, so a crashed worker leaves conservation-consistent
+        # telemetry behind (the parent only checkpoints at run end).
+        ledger_mod.checkpoint_telemetry(ledger)
+    return stats
+
+
+def _simulate_cell_body(workload: str, config: FrontEndConfig, seed: int,
+                        bolted: bool, scale: Scale,
+                        store_root: str | None,
+                        record_attribution: bool,
+                        trace_ref: tuple[str, str] | None,
+                        ledger, cell_id: str | None
+                        ) -> tuple[SimStats, dict]:
     from repro.frontend.batch import (
         batch_supported,
         note_object_fallback,
         run_compiled_batched,
     )
     from repro.frontend.engine import FrontEndSimulator
+    from repro.obs.invariants import check_snapshot
     from repro.workloads.cache import GLOBAL_CACHE
     from repro.workloads.compiled import batch_enabled, compiled_traces_enabled
 
@@ -167,19 +247,25 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
         if store is not None:
             key = result_key(workload, config, seed, scale, bolted=bolted)
             cached = store.get(key)
+            if ledger is not None:
+                ledger.cell(cell_id, "store_probe", hit=cached is not None)
             if cached is not None and not (
                     record_attribution
                     and store.get_attribution(key) is None):
-                return cached
+                return cached, {"result": "store_hit"}
+        elif ledger is not None:
+            ledger.cell(cell_id, "store_probe", hit=False, store=False)
         use_compiled = compiled_traces_enabled()
         compiled = None
         trace = None
+        attached = False
         with PROFILER.section("harness.workload"):
             program = GLOBAL_CACHE.program(workload, seed=seed,
                                            bolted=bolted)
             if use_compiled and trace_ref is not None:
                 try:
                     compiled = _attached_trace(trace_ref)
+                    attached = True
                 except (FileNotFoundError, OSError, ValueError):
                     # The parent's segment/spill vanished (e.g. evicted
                     # mid-batch); fall back to compiling locally.
@@ -190,6 +276,13 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
             if not use_compiled:
                 trace = GLOBAL_CACHE.trace(workload, scale.records,
                                            seed=seed, bolted=bolted)
+        if ledger is not None:
+            ledger.cell(cell_id, "prepare",
+                        source=("attach" if attached
+                                else "compile" if use_compiled
+                                else "trace"))
+        mode = "object"
+        fallback_reason = None
         with PROFILER.section("harness.simulate"):
             simulator = FrontEndSimulator(program, config, seed=seed)
             if record_attribution:
@@ -201,23 +294,37 @@ def simulate_cell(workload: str, config: FrontEndConfig, seed: int,
                 # or attribution attached) fall back to the object loop,
                 # with the degradation counted and logged.
                 if batch_enabled() and batch_supported(simulator):
+                    mode = "batched"
                     stats = run_compiled_batched(simulator, compiled,
                                                  warmup=scale.warmup)
                 else:
                     if batch_enabled():
-                        note_object_fallback(simulator)
+                        fallback_reason = note_object_fallback(simulator)
                     stats = simulator.run_compiled(compiled,
                                                    warmup=scale.warmup)
             else:
                 stats = simulator.run(trace, warmup=scale.warmup)
+        metrics = (simulator.metrics_snapshot()
+                   if store is not None or ledger is not None else None)
+        if ledger is not None:
+            ledger.cell(cell_id, "simulate", mode=mode,
+                        fallback_reason=fallback_reason)
+            ledger.cell(cell_id, "invariants",
+                        violations=[v.invariant for v in
+                                    check_snapshot(metrics)])
         if store is not None:
             # Persist the metric snapshot next to the result so serial and
             # parallel runs surface identical per-component counters.
             attribution = (simulator.attribution.to_jsonable()
                            if record_attribution else None)
-            store.put(key, stats, metrics=simulator.metrics_snapshot(),
+            store.put(key, stats, metrics=metrics,
                       attribution=attribution)
-    return stats
+            if ledger is not None:
+                ledger.cell(cell_id, "store_write", stored=True)
+    outcome = {"result": "simulated", "mode": mode}
+    if fallback_reason is not None:
+        outcome["fallback_reason"] = fallback_reason
+    return stats, outcome
 
 
 def _simulate_packed(packed: tuple) -> SimStats:
@@ -303,21 +410,62 @@ class ParallelRunner:
                               item[1].bolted))
         workers = min(self.jobs, len(ordered)) if ordered else 0
         trace_refs = self._publish_traces(ordered, workers)
+
+        ledger = ledger_mod.active_ledger()
+        progress = None
+        run_dir = None
+        if ledger is not None and ordered:
+            run_dir = str(ledger.run_dir)
+            ledger.grid(cells=len(ordered), submitted=len(resolved),
+                        jobs=max(workers, 1))
+            for _, cell in ordered:
+                ledger.cell(ledger_mod.cell_id_for(
+                    cell.workload, cell.config, cell.seed, cell.bolted),
+                    "queued")
+            from repro.harness.progress import (ProgressReporter,
+                                                progress_enabled)
+            if progress_enabled():
+                progress = ProgressReporter(len(ordered), ledger=ledger)
+            # Forked workers inherit the parent's span recorder; flush
+            # it first so its buffer is empty at fork time and every
+            # buffered parent span is written exactly once, by the
+            # parent.
+            recorder = spans_mod.active_recorder()
+            if recorder is not None:
+                recorder.flush()
+
         packed = [(cell.workload, cell.config, cell.seed, cell.bolted,
                    self.scale, self._store_root, self.record_attribution,
-                   trace_refs.get((cell.workload, cell.seed, cell.bolted)))
+                   trace_refs.get((cell.workload, cell.seed, cell.bolted)),
+                   run_dir)
                   for _, cell in ordered]
 
         if workers <= 1:
-            stats_list = [_simulate_packed(item) for item in packed]
+            stats_list = []
+            for item in packed:
+                stats_list.append(_simulate_packed(item))
+                if progress is not None:
+                    progress.update(1)
         else:
-            # Workers profile into their own (discarded) PROFILER; this
-            # section times the dispatch + result collection layer.
+            # Workers profile into their own PROFILER (discarded unless
+            # a run is active, in which case each worker persists its
+            # own delta); this section times the dispatch + result
+            # collection layer.
             chunksize = max(1, len(packed) // (workers * 4))
             with PROFILER.section("harness.parallel_batch"):
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    stats_list = list(pool.map(_simulate_packed, packed,
-                                               chunksize=chunksize))
+                    stats_list = []
+                    for stats in pool.map(_simulate_packed, packed,
+                                          chunksize=chunksize):
+                        stats_list.append(stats)
+                        if progress is not None:
+                            progress.update(1)
+        if progress is not None:
+            progress.finish()
+        if ledger is not None and ordered:
+            # Live per-cell walls live in the workers; flag stragglers
+            # post-hoc from the ledger they appended to.
+            ledger_mod.flag_stragglers(ledger)
 
         by_identity = {identity: stats for (identity, _), stats
                        in zip(ordered, stats_list)}

@@ -20,6 +20,7 @@ Two layers sit under the in-memory memo:
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.frontend.batch import (
@@ -32,8 +33,12 @@ from repro.frontend.config import FrontEndConfig
 from repro.frontend.engine import FrontEndSimulator
 from repro.frontend.stats import SimStats
 from repro.harness.parallel import Cell, ParallelRunner
+from repro.harness.progress import ProgressReporter, progress_enabled
 from repro.harness.scale import Scale, current_scale
 from repro.harness.store import ResultStore, config_key, default_store
+from repro.obs import ledger as ledger_mod
+from repro.obs import spans as spans_mod
+from repro.obs.invariants import check_snapshot
 from repro.obs.profiler import PROFILER
 from repro.workloads.cache import GLOBAL_CACHE, WorkloadCache
 from repro.workloads.compiled import batch_enabled, compiled_traces_enabled
@@ -159,24 +164,78 @@ class ExperimentRunner:
 
     def _run_uncached(
             self, workload: str, config: FrontEndConfig, bolted: bool,
-            seed: int) -> tuple[SimStats, dict[str, float] | None]:
+            seed: int, queued: bool = True
+    ) -> tuple[SimStats, dict[str, float] | None]:
+        """One cell, end to end, with full run-ledger lifecycle.
+
+        ``queued`` is False when a batch entry point (``run_cells`` or
+        the pool parent) already emitted the cell's ``queued`` record;
+        standalone :meth:`run` calls emit it here.  With no active
+        ledger the added cost is a handful of ``is None`` checks.
+        """
+        ledger = ledger_mod.active_ledger()
+        cell_id = None
+        if ledger is not None:
+            cell_id = ledger_mod.cell_id_for(workload, config, seed, bolted)
+            if queued:
+                ledger.cell(cell_id, "queued")
+            spans_mod.set_cell(cell_id)
+        started = time.monotonic()
+        try:
+            stats, metrics, outcome = self._simulate_one(
+                workload, config, bolted, seed, ledger, cell_id)
+        except Exception as exc:
+            if ledger is not None:
+                ledger.cell(cell_id, "error",
+                            error=f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            if ledger is not None:
+                # The harness.cell section popped (with the cell stamp)
+                # when _simulate_one returned; clear the stamp so later
+                # sections are not mis-attributed.
+                spans_mod.set_cell(None)
+        if ledger is not None:
+            # One group record per harness.cell span opened above.
+            ledger.group([cell_id], mode="serial")
+            ledger.cell(cell_id, "done", spanned=True,
+                        wall_s=round(time.monotonic() - started, 6),
+                        **outcome)
+        return stats, metrics
+
+    def _simulate_one(
+            self, workload: str, config: FrontEndConfig, bolted: bool,
+            seed: int, ledger, cell_id: str | None
+    ) -> tuple[SimStats, dict[str, float] | None, dict]:
+        """The cell body: store probe, prepare, simulate, store-write.
+
+        Returns ``(stats, metrics, outcome_fields)``; the caller folds
+        ``outcome_fields`` into the terminal ledger record.
+        """
         with PROFILER.section("harness.cell"):
             store_key = None
             if self.store is not None:
                 store_key = self.store.key(workload, config, seed,
                                            self.scale, bolted=bolted)
                 stored = self.store.get(store_key)
+                if ledger is not None:
+                    ledger.cell(cell_id, "store_probe",
+                                hit=stored is not None)
                 if stored is not None:
                     if self.record_attribution:
                         attribution = self.store.get_attribution(store_key)
                         if attribution is not None:
                             self._attribution[self._memo_key(
                                 workload, config, bolted, seed)] = attribution
-                            return stored, self.store.get_metrics(store_key)
+                            return (stored, self.store.get_metrics(store_key),
+                                    {"result": "store_hit"})
                         # Entry predates attribution: fall through and
                         # re-simulate to backfill it.
                     else:
-                        return stored, self.store.get_metrics(store_key)
+                        return (stored, self.store.get_metrics(store_key),
+                                {"result": "store_hit"})
+            elif ledger is not None:
+                ledger.cell(cell_id, "store_probe", hit=False, store=False)
             use_compiled = compiled_traces_enabled()
             with PROFILER.section("harness.workload"):
                 program = self.cache.program(workload, seed=seed,
@@ -188,6 +247,11 @@ class ExperimentRunner:
                 else:
                     trace = self.cache.trace(workload, self.scale.records,
                                              seed=seed, bolted=bolted)
+            if ledger is not None:
+                ledger.cell(cell_id, "prepare",
+                            source="compile" if use_compiled else "trace")
+            mode = "object"
+            fallback_reason = None
             with PROFILER.section("harness.simulate"):
                 simulator = FrontEndSimulator(program, config, seed=seed)
                 if self.record_attribution:
@@ -197,16 +261,26 @@ class ExperimentRunner:
                     # object/compiled loops remain the fallback (and the
                     # oracle) for cells with instrumentation attached.
                     if batch_enabled() and batch_supported(simulator):
+                        mode = "batched"
                         stats = run_compiled_batched(
                             simulator, compiled, warmup=self.scale.warmup)
                     else:
                         if batch_enabled():
-                            note_object_fallback(simulator)
+                            fallback_reason = note_object_fallback(simulator)
                         stats = simulator.run_compiled(
                             compiled, warmup=self.scale.warmup)
                 else:
                     stats = simulator.run(trace, warmup=self.scale.warmup)
                 metrics = simulator.metrics_snapshot()
+            outcome = {"result": "simulated", "mode": mode}
+            if fallback_reason is not None:
+                outcome["fallback_reason"] = fallback_reason
+            if ledger is not None:
+                ledger.cell(cell_id, "simulate", mode=mode,
+                            fallback_reason=fallback_reason)
+                violations = check_snapshot(metrics)
+                ledger.cell(cell_id, "invariants",
+                            violations=[v.invariant for v in violations])
             attribution = None
             if self.record_attribution:
                 attribution = simulator.attribution.to_jsonable()
@@ -215,7 +289,9 @@ class ExperimentRunner:
             if self.store is not None:
                 self.store.put(store_key, stats, metrics=metrics,
                                attribution=attribution)
-        return stats, metrics
+                if ledger is not None:
+                    ledger.cell(cell_id, "store_write", stored=True)
+        return stats, metrics, outcome
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -234,20 +310,45 @@ class ExperimentRunner:
         missing = [cell for cell in resolved
                    if cell.identity(self.scale) not in self._results]
         if missing:
+            ledger = ledger_mod.active_ledger()
+            progress = None
             if jobs == 1:
+                if ledger is not None:
+                    unique: dict[tuple, Cell] = {}
+                    for cell in missing:
+                        unique.setdefault(cell.identity(self.scale), cell)
+                    ledger.grid(cells=len(unique), submitted=len(resolved),
+                                jobs=1)
+                    for cell in unique.values():
+                        ledger.cell(ledger_mod.cell_id_for(
+                            cell.workload, cell.config, cell.seed,
+                            cell.bolted), "queued")
+                    if progress_enabled():
+                        progress = ProgressReporter(len(unique),
+                                                    ledger=ledger)
                 if (batch_enabled() and compiled_traces_enabled()
                         and not self.record_attribution):
-                    self._run_missing_batched(missing)
+                    self._run_missing_batched(missing, progress=progress)
                 else:
                     for cell in missing:
                         key = cell.identity(self.scale)
                         if key not in self._results:
+                            started = time.monotonic()
                             stats, metrics = self._run_uncached(
                                 cell.workload, cell.config, cell.bolted,
-                                cell.seed)
+                                cell.seed, queued=False)
                             self._results[key] = stats
                             if metrics is not None:
                                 self._metrics[key] = metrics
+                            if progress is not None:
+                                progress.update(
+                                    1,
+                                    cell_id=ledger_mod.cell_id_for(
+                                        cell.workload, cell.config,
+                                        cell.seed, cell.bolted),
+                                    wall_s=time.monotonic() - started)
+                if progress is not None:
+                    progress.finish()
             else:
                 parallel = ParallelRunner(
                     scale=self.scale, jobs=jobs, store=self.store,
@@ -259,7 +360,9 @@ class ExperimentRunner:
         return [self._results[cell.identity(self.scale)]
                 for cell in resolved]
 
-    def _run_missing_batched(self, missing: Sequence[Cell]) -> None:
+    def _run_missing_batched(self, missing: Sequence[Cell],
+                             progress: ProgressReporter | None = None
+                             ) -> None:
         """Serial batch path: multi-lane kernel per shared trace.
 
         Groups uncached cells by (workload, seed, bolted) so every lane
@@ -269,7 +372,15 @@ class ExperimentRunner:
         short-circuit exactly as :meth:`_run_uncached` does; the
         produced stats and metric snapshots are bit-identical to the
         serial object path.
+
+        Ledger semantics: each multi-lane group opens *one*
+        ``harness.cell`` section, so it logs one ``group`` record
+        covering its lanes; lane ``done`` records carry the shared group
+        wall (``shared_wall=True``, excluded from straggler medians).
+        Store hits short-circuit *before* the section and are therefore
+        terminal with ``spanned=False``.
         """
+        ledger = ledger_mod.active_ledger()
         groups: dict[tuple, list[Cell]] = {}
         seen: set[tuple] = set()
         for cell in missing:
@@ -280,63 +391,131 @@ class ExperimentRunner:
             groups.setdefault(
                 (cell.workload, cell.seed, cell.bolted), []).append(cell)
         for (workload, seed, bolted), cells in groups.items():
-            pending: list[Cell] = []
+            pending: list[tuple[Cell, str | None]] = []
             for cell in cells:
                 key = cell.identity(self.scale)
+                cell_id = (ledger_mod.cell_id_for(workload, cell.config,
+                                                  seed, bolted)
+                           if ledger is not None else None)
                 if self.store is not None:
                     store_key = self.store.key(workload, cell.config, seed,
                                                self.scale, bolted=bolted)
                     stored = self.store.get(store_key)
+                    if ledger is not None:
+                        ledger.cell(cell_id, "store_probe",
+                                    hit=stored is not None)
                     if stored is not None:
                         self._results[key] = stored
                         metrics = self.store.get_metrics(store_key)
                         if metrics is not None:
                             self._metrics[key] = metrics
+                        if ledger is not None:
+                            ledger.cell(cell_id, "done", result="store_hit",
+                                        spanned=False)
+                        if progress is not None:
+                            progress.update(1)
                         continue
-                pending.append(cell)
+                elif ledger is not None:
+                    ledger.cell(cell_id, "store_probe", hit=False,
+                                store=False)
+                pending.append((cell, cell_id))
             if not pending:
                 continue
-            with PROFILER.section("harness.cell"):
-                with PROFILER.section("harness.workload"):
-                    program = self.cache.program(workload, seed=seed,
-                                                 bolted=bolted)
-                    compiled = self.cache.compiled(
-                        workload, self.scale.records, seed=seed,
-                        bolted=bolted)
-                batch = BatchedFrontEndSimulator()
-                lanes: list[tuple[Cell, FrontEndSimulator]] = []
-                fallbacks: list[tuple[Cell, FrontEndSimulator]] = []
-                for cell in pending:
-                    simulator = FrontEndSimulator(program, cell.config,
-                                                  seed=seed)
-                    if batch_supported(simulator):
-                        batch.add_lane(simulator, compiled,
-                                       warmup=self.scale.warmup)
-                        lanes.append((cell, simulator))
-                    else:
-                        # e.g. config.record_timeline attaches a recorder
-                        # at init; the kernel cannot replicate it, so the
-                        # cell runs the compiled object loop instead.
-                        note_object_fallback(simulator)
-                        fallbacks.append((cell, simulator))
-                with PROFILER.section("harness.simulate"):
-                    stats_list = batch.run()
-                    done = [(cell, simulator, stats)
-                            for (cell, simulator), stats in zip(lanes,
-                                                                stats_list)]
-                    done += [(cell, simulator,
-                              simulator.run_compiled(
-                                  compiled, warmup=self.scale.warmup))
-                             for cell, simulator in fallbacks]
-                for cell, simulator, stats in done:
-                    metrics = simulator.metrics_snapshot()
-                    self._results[cell.identity(self.scale)] = stats
-                    self._metrics[cell.identity(self.scale)] = metrics
-                    if self.store is not None:
-                        store_key = self.store.key(
-                            workload, cell.config, seed, self.scale,
+            group_started = time.monotonic()
+            if ledger is not None:
+                spans_mod.set_cell(
+                    f"group:{workload}:s{seed}"
+                    + ("+bolt" if bolted else ""))
+            finished: list = []
+            try:
+                with PROFILER.section("harness.cell"):
+                    if ledger is not None:
+                        ledger.group([cell_id for _, cell_id in pending],
+                                     mode="batched-group")
+                    with PROFILER.section("harness.workload"):
+                        program = self.cache.program(workload, seed=seed,
+                                                     bolted=bolted)
+                        compiled = self.cache.compiled(
+                            workload, self.scale.records, seed=seed,
                             bolted=bolted)
-                        self.store.put(store_key, stats, metrics=metrics)
+                    batch = BatchedFrontEndSimulator()
+                    lanes: list[tuple[Cell, str | None,
+                                      FrontEndSimulator]] = []
+                    fallbacks: list[tuple[Cell, str | None,
+                                          FrontEndSimulator, str]] = []
+                    for cell, cell_id in pending:
+                        if ledger is not None:
+                            ledger.cell(cell_id, "prepare",
+                                        source="compile")
+                        simulator = FrontEndSimulator(program, cell.config,
+                                                      seed=seed)
+                        if batch_supported(simulator):
+                            batch.add_lane(simulator, compiled,
+                                           warmup=self.scale.warmup)
+                            lanes.append((cell, cell_id, simulator))
+                        else:
+                            # e.g. config.record_timeline attaches a
+                            # recorder at init; the kernel cannot
+                            # replicate it, so the cell runs the
+                            # compiled object loop instead.
+                            reason = note_object_fallback(simulator)
+                            fallbacks.append((cell, cell_id, simulator,
+                                              reason))
+                    with PROFILER.section("harness.simulate"):
+                        stats_list = batch.run()
+                        finished = [
+                            (cell, cell_id, simulator, stats,
+                             "batched", None)
+                            for (cell, cell_id, simulator), stats
+                            in zip(lanes, stats_list)]
+                        finished += [
+                            (cell, cell_id, simulator,
+                             simulator.run_compiled(
+                                 compiled, warmup=self.scale.warmup),
+                             "object", reason)
+                            for cell, cell_id, simulator, reason
+                            in fallbacks]
+                    for (cell, cell_id, simulator, stats, mode,
+                         reason) in finished:
+                        metrics = simulator.metrics_snapshot()
+                        self._results[cell.identity(self.scale)] = stats
+                        self._metrics[cell.identity(self.scale)] = metrics
+                        if ledger is not None:
+                            ledger.cell(cell_id, "simulate", mode=mode,
+                                        fallback_reason=reason)
+                            ledger.cell(cell_id, "invariants",
+                                        violations=[v.invariant for v in
+                                                    check_snapshot(metrics)])
+                        if self.store is not None:
+                            store_key = self.store.key(
+                                workload, cell.config, seed, self.scale,
+                                bolted=bolted)
+                            self.store.put(store_key, stats,
+                                           metrics=metrics)
+                            if ledger is not None:
+                                ledger.cell(cell_id, "store_write",
+                                            stored=True)
+            except Exception as exc:
+                if ledger is not None:
+                    for cell, cell_id in pending:
+                        ledger.cell(cell_id, "error",
+                                    error=f"{type(exc).__name__}: {exc}")
+                raise
+            finally:
+                if ledger is not None:
+                    spans_mod.set_cell(None)
+            if ledger is not None:
+                group_wall = round(time.monotonic() - group_started, 6)
+                for (cell, cell_id, simulator, stats, mode,
+                     reason) in finished:
+                    outcome = {"result": "simulated", "mode": mode}
+                    if reason is not None:
+                        outcome["fallback_reason"] = reason
+                    ledger.cell(cell_id, "done", spanned=True,
+                                wall_s=group_wall, shared_wall=True,
+                                **outcome)
+            if progress is not None:
+                progress.update(len(pending))
 
     def run_many(self, workloads: list[str], config: FrontEndConfig,
                  bolted: bool = False,

@@ -28,6 +28,13 @@ subsystem:
 * :mod:`repro.obs.profiler` -- a host-side section profiler
   (``perf_counter_ns``, nesting, exclusive time) threaded through the
   harness so ``repro bench`` can report where wall-clock goes.
+* :mod:`repro.obs.ledger` -- the run ledger: every ledgered harness
+  invocation gets a run id and an append-only JSONL manifest under
+  ``.repro_cache/runs/<run_id>/`` with a lifecycle record per cell,
+  diagnosable even for crashed runs; ``repro runs list/show``.
+* :mod:`repro.obs.spans` -- profiler sections as run-scoped spans with
+  cell identity, conserved exactly against profiler totals and merged
+  with pipeline timelines into one Perfetto-loadable trace.
 
 Nothing here is on the simulation hot path unless enabled: gauges are
 sampled lazily at snapshot time from counters the components already
@@ -51,6 +58,16 @@ from repro.obs.invariants import (
     check_snapshot,
     snapshot_from_stats,
 )
+from repro.obs.ledger import (
+    RunLedger,
+    active_ledger,
+    flag_stragglers,
+    list_runs,
+    load_run,
+    read_manifest,
+    start_run,
+    summarize,
+)
 from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
@@ -60,8 +77,17 @@ from repro.obs.registry import (
     merge_snapshots,
     render_snapshot,
     save_snapshot,
+    snapshot_to_prometheus,
 )
 from repro.obs.profiler import PROFILER, SectionProfiler, profile
+from repro.obs.spans import (
+    SpanRecorder,
+    check_cell_conservation,
+    check_span_conservation,
+    merge_run_trace,
+    read_spans,
+    span_rollup,
+)
 from repro.obs.timeline import (
     TimelineRecorder,
     chrome_from_jsonl,
@@ -82,19 +108,34 @@ __all__ = [
     "INVARIANTS",
     "MetricsRegistry",
     "PROFILER",
+    "RunLedger",
     "Scope",
     "SectionProfiler",
+    "SpanRecorder",
     "TimelineRecorder",
     "Violation",
+    "active_ledger",
     "applicable_invariants",
+    "check_cell_conservation",
     "check_snapshot",
+    "check_span_conservation",
     "chrome_from_jsonl",
     "chrome_from_trace_events",
     "diff_snapshots",
+    "flag_stragglers",
+    "list_runs",
+    "load_run",
     "load_snapshot",
+    "merge_run_trace",
     "merge_snapshots",
     "profile",
+    "read_manifest",
+    "read_spans",
     "render_snapshot",
     "save_snapshot",
     "snapshot_from_stats",
+    "snapshot_to_prometheus",
+    "span_rollup",
+    "start_run",
+    "summarize",
 ]

@@ -201,6 +201,19 @@ def _check_attribution_comparator(s: Snapshot) -> str | None:
                "sim.comparator_hits")
 
 
+def _check_trace_drop_accounting(s: Snapshot) -> str | None:
+    # The ring drops exactly what it emitted but no longer retains;
+    # drops can never go negative and never exceed emissions.
+    dropped = s["trace.dropped_events"]
+    expected = s["trace.emitted"] - s["trace.retained"]
+    if dropped != expected:
+        return (f"trace.dropped_events={dropped} but emitted - retained "
+                f"= {expected}")
+    if dropped < 0:
+        return f"trace.dropped_events={dropped} is negative"
+    return _le(s, "trace.dropped_events", "trace.emitted")
+
+
 def _check_sbb_outcomes_bounded(s: Snapshot) -> str | None:
     for small in ("sim.sbb_wrong_target", "sim.sbb_retired_marks"):
         message = _le(s, small, "sim.sbb_hits_total")
@@ -400,6 +413,12 @@ INVARIANTS: tuple[Invariant, ...] = (
               _check_sbb_outcomes_bounded,
               requires=("sim.sbb_wrong_target", "sim.sbb_retired_marks",
                         "sim.sbb_hits_total")),
+    Invariant("trace_drop_accounting",
+              "event-trace ring drops equal emitted minus retained and "
+              "stay within [0, emitted]",
+              _check_trace_drop_accounting,
+              requires=("trace.emitted", "trace.retained",
+                        "trace.dropped_events")),
     Invariant("sbb_bogus_bounded",
               "bogus insertions are a subset of all insertions",
               _check_sbb_bogus_bounded,

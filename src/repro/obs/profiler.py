@@ -100,6 +100,14 @@ class SectionProfiler:
         self._sections: dict[str, SectionStats] = {}
         # Stack frames: [name, start_ns, child_ns_accumulated].
         self._stack: list[list] = []
+        #: Optional live observer called as ``sink(name, start_ns,
+        #: elapsed_ns)`` on every section pop.  This is how the span
+        #: recorder (:mod:`repro.obs.spans`) sees sections with the
+        #: *exact* nanoseconds the profiler accumulates, making
+        #: span-vs-profiler conservation an identity rather than an
+        #: approximation.  ``None`` (the default) costs one attribute
+        #: check per pop -- and pops only happen while enabled.
+        self.sink: Callable[[str, int, int], None] | None = None
 
     # -- the instrumentation surface ------------------------------------
 
@@ -123,6 +131,8 @@ class SectionProfiler:
         stats.child_ns += child_ns
         if self._stack:
             self._stack[-1][2] += elapsed
+        if self.sink is not None:
+            self.sink(name, start, elapsed)
 
     # -- reporting -------------------------------------------------------
 
@@ -140,21 +150,34 @@ class SectionProfiler:
         self._sections.clear()
 
     def render(self, title: str | None = None) -> str:
-        """ASCII table sorted by exclusive time, biggest first."""
+        """ASCII table sorted by exclusive time, biggest first.
+
+        Alongside the raw nanoseconds each row shows human-readable
+        seconds and the section's share of the total exclusive time, so
+        a ``REPRO_PROFILE`` report answers "where did the wall-clock
+        go?" without mental unit conversion.
+        """
         lines = [title] if title else []
         ordered = sorted(self._sections.items(),
                          key=lambda item: -item[1].exclusive_ns)
         if not ordered:
             lines.append("(no sections recorded)")
             return "\n".join(lines)
+        exclusive_sum = sum(stats.exclusive_ns for _, stats in ordered)
         width = max(len(name) for name, _ in ordered)
         lines.append(f"{'section'.ljust(width)}  {'calls':>8} "
-                     f"{'total_ms':>10} {'excl_ms':>10}")
+                     f"{'total_s':>9} {'excl_s':>9} {'excl%':>6} "
+                     f"{'total_ns':>14} {'excl_ns':>14}")
         for name, stats in ordered:
+            share = (100.0 * stats.exclusive_ns / exclusive_sum
+                     if exclusive_sum else 0.0)
             lines.append(
                 f"{name.ljust(width)}  {stats.calls:>8} "
-                f"{stats.total_ns / 1e6:>10.2f} "
-                f"{stats.exclusive_ns / 1e6:>10.2f}")
+                f"{stats.total_ns / 1e9:>9.3f} "
+                f"{stats.exclusive_ns / 1e9:>9.3f} "
+                f"{share:>5.1f}% "
+                f"{stats.total_ns:>14} "
+                f"{stats.exclusive_ns:>14}")
         return "\n".join(lines)
 
 

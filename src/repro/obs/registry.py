@@ -109,6 +109,10 @@ class MetricsRegistry:
             histogram.snapshot_into(out, name)
         return out
 
+    def to_prometheus(self, labels: Mapping[str, str] | None = None) -> str:
+        """This registry's snapshot in Prometheus text exposition format."""
+        return snapshot_to_prometheus(self.snapshot(), labels=labels)
+
 
 # ----------------------------------------------------------------------
 # Snapshot algebra: diff / merge / render / persist
@@ -165,6 +169,55 @@ def render_snapshot(snapshot: Mapping[str, float],
                 rendered = str(int(value))
             lines.append(f"  {name.ljust(width)}  {rendered}")
     return "\n".join(lines)
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier.
+
+    Every character outside ``[a-zA-Z0-9_]`` becomes ``_`` and the
+    result is prefixed with ``repro_`` (which also guarantees a legal
+    leading character): ``sbd.head.window_hits`` ->
+    ``repro_sbd_head_window_hits``.
+    """
+    sanitised = "".join(ch if ch.isascii() and (ch.isalnum() or ch == "_")
+                        else "_" for ch in name)
+    return f"repro_{sanitised}"
+
+
+def _prometheus_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def snapshot_to_prometheus(snapshot: Mapping[str, float],
+                           labels: Mapping[str, str] | None = None) -> str:
+    """Render a metric snapshot in Prometheus text exposition format.
+
+    Everything is exported as a ``gauge``: snapshots are point-in-time
+    samples of counters that reset per cell, so declaring them Prometheus
+    counters (which must be monotonic across scrapes) would be a lie.
+    ``labels`` (e.g. ``{"workload": "fig14", "seed": "7"}``) are attached
+    to every sample; label values are escaped per the exposition format.
+    This is the bridge a future HTTP service scrapes -- the format is the
+    stable contract, not the transport.
+    """
+    label_str = ""
+    if labels:
+        rendered = []
+        for key in sorted(labels):
+            value = (str(labels[key]).replace("\\", r"\\")
+                     .replace('"', r'\"').replace("\n", r"\n"))
+            rendered.append(f'{_prometheus_name(key)[len("repro_"):]}'
+                            f'="{value}"')
+        label_str = "{" + ",".join(rendered) + "}"
+    lines = []
+    for name in sorted(snapshot):
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{label_str} "
+                     f"{_prometheus_value(snapshot[name])}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def save_snapshot(path: str | Path, snapshot: Mapping[str, float],

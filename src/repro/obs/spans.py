@@ -1,0 +1,336 @@
+"""Harness span tracing: profiler sections as run-scoped spans.
+
+The section profiler (:mod:`repro.obs.profiler`) answers "where did the
+wall-clock go?" as per-process totals; this module keeps the individual
+section *instances* -- one span per push/pop pair, stamped with the
+active run/cell identity and the recording pid -- and serialises them
+next to the run ledger (:mod:`repro.obs.ledger`) as append-only JSONL.
+Spans from every process of a run (the serial harness, each pool
+worker) land in one ``spans.jsonl``, so a grid run's harness-level
+timeline can be merged with the per-cycle pipeline timelines
+(:mod:`repro.obs.timeline`) into a single Perfetto-loadable trace:
+harness spans and simulated-cycle tracks open in one viewer.
+
+Exactness contract: the recorder is installed as the profiler's *sink*,
+so every span carries the same integer nanoseconds the profiler
+accumulates into its section totals.  Span rollups therefore equal
+profiler section totals **by construction**, and
+:func:`check_span_conservation` / :func:`check_cell_conservation` turn
+that identity (plus "every covered cell is accounted to exactly one
+``harness.cell`` span") into checkable invariants, mirroring the
+counter-conservation style of :mod:`repro.obs.invariants`.
+
+Nothing here is active unless a run is started
+(:func:`repro.obs.ledger.start_run`): the profiler's sink is ``None``
+by default and costs one attribute check per section pop, which itself
+only happens while the profiler is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.obs.invariants import Violation
+
+#: Bump when the span record shape changes.
+SPANS_SCHEMA_VERSION = 1
+
+#: Chrome trace-event process id of the harness span track (the pipeline
+#: timeline uses pid 1, the converted event trace pid 2).
+HARNESS_PID = 3
+HARNESS_PROCESS = "repro-harness"
+
+
+class SpanRecorder:
+    """Buffers profiler sections as spans; flushes append-only JSONL.
+
+    Install with ``profiler.sink = recorder.on_section``.  ``set_cell``
+    stamps subsequently *popped* sections with a cell id (the harness
+    sets it around each cell's lifecycle, so ``store.get`` or
+    ``harness.simulate`` sections attribute to the cell they served).
+
+    ``flush`` appends the buffered spans to ``path`` in one ``os.write``
+    on an ``O_APPEND`` descriptor, so concurrent writers (pool workers
+    sharing one ``spans.jsonl``) never interleave mid-line.  A crashed
+    process loses at most the spans buffered since its last flush --
+    the file itself is always well-formed JSONL.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fd: int | None = None
+        self._buffer: list[dict] = []
+        self._cell: str | None = None
+        #: Spans recorded (including already-flushed ones).
+        self.recorded = 0
+
+    # -- recording -------------------------------------------------------
+
+    def on_section(self, name: str, start_ns: int, elapsed_ns: int) -> None:
+        """Profiler sink: one popped section becomes one span."""
+        self._buffer.append({
+            "name": name, "start_ns": start_ns, "dur_ns": elapsed_ns,
+            "cell": self._cell, "pid": os.getpid(),
+        })
+        self.recorded += 1
+
+    def set_cell(self, cell_id: str | None) -> None:
+        """Stamp subsequently popped sections with ``cell_id``."""
+        self._cell = cell_id
+
+    # -- persistence -----------------------------------------------------
+
+    def flush(self) -> int:
+        """Append buffered spans to :attr:`path`; returns spans written."""
+        if not self._buffer:
+            return 0
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        payload = "".join(json.dumps(span, sort_keys=True) + "\n"
+                          for span in self._buffer)
+        os.write(self._fd, payload.encode("utf-8"))
+        written = len(self._buffer)
+        self._buffer.clear()
+        return written
+
+    def close(self) -> None:
+        self.flush()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+# ----------------------------------------------------------------------
+# The process-wide active recorder (installed by ledger.start_run and by
+# pool workers attaching to a run).
+# ----------------------------------------------------------------------
+
+_ACTIVE: SpanRecorder | None = None
+
+
+def active_recorder() -> SpanRecorder | None:
+    return _ACTIVE
+
+
+def set_active_recorder(recorder: SpanRecorder | None) -> None:
+    global _ACTIVE
+    _ACTIVE = recorder
+
+
+def set_cell(cell_id: str | None) -> None:
+    """Stamp the active recorder's context; no-op when none is active."""
+    if _ACTIVE is not None:
+        _ACTIVE.set_cell(cell_id)
+
+
+# ----------------------------------------------------------------------
+# Reading + rollups
+# ----------------------------------------------------------------------
+
+def read_spans(path: str | os.PathLike) -> list[dict]:
+    """Load a ``spans.jsonl``; tolerates a truncated final line."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except ValueError:
+                continue  # torn tail write of a crashed process
+            if isinstance(span, dict):
+                spans.append(span)
+    return spans
+
+
+def span_rollup(spans: Iterable[Mapping]
+                ) -> dict[tuple[int, str], tuple[int, int]]:
+    """``{(pid, section): (count, total_ns)}`` over a span stream."""
+    counts: dict[tuple[int, str], list[int]] = defaultdict(lambda: [0, 0])
+    for span in spans:
+        entry = counts[(int(span.get("pid", 0)), str(span["name"]))]
+        entry[0] += 1
+        entry[1] += int(span["dur_ns"])
+    return {key: (count, total) for key, (count, total) in counts.items()}
+
+
+def check_span_conservation(
+        spans: Iterable[Mapping],
+        profiles: Mapping[int, Mapping[str, Mapping[str, int]]],
+) -> list[Violation]:
+    """Span rollups must equal profiler section totals, per process.
+
+    ``profiles`` maps pid -> profiler snapshot delta (the
+    ``{section: {calls, total_ns, ...}}`` shape of
+    :meth:`repro.obs.profiler.SectionProfiler.snapshot`, baselined at
+    run start).  For every pid that recorded a profile, each section's
+    span count must equal its call count and the span nanoseconds must
+    sum exactly to the section's ``total_ns`` -- any drift means spans
+    were dropped, duplicated or mis-stamped.
+    """
+    violations: list[Violation] = []
+    rollup = span_rollup(spans)
+    for pid, sections in profiles.items():
+        pid = int(pid)
+        for name, stats in sections.items():
+            count, total = rollup.get((pid, name), (0, 0))
+            calls = int(stats.get("calls", 0))
+            total_ns = int(stats.get("total_ns", 0))
+            if count != calls:
+                violations.append(Violation(
+                    "span_profiler_conservation",
+                    f"pid {pid} section {name}: {count} spans but "
+                    f"{calls} profiler calls"))
+            elif total != total_ns:
+                violations.append(Violation(
+                    "span_profiler_conservation",
+                    f"pid {pid} section {name}: span total {total}ns "
+                    f"but profiler total {total_ns}ns"))
+        # Spans for sections absent from the profile mean the profile
+        # snapshot missed pops (flush-ordering bug).
+        for (span_pid, name), (count, _) in rollup.items():
+            if span_pid == pid and name not in sections:
+                violations.append(Violation(
+                    "span_profiler_conservation",
+                    f"pid {pid}: {count} spans for section {name} "
+                    f"missing from the profiler snapshot"))
+    return violations
+
+
+def check_cell_conservation(ledger_records: Iterable[Mapping],
+                            spans: Iterable[Mapping]) -> list[Violation]:
+    """Cell counts must match the ``harness.cell`` span population.
+
+    Every ``harness.cell`` section the harness opens logs one ``group``
+    ledger record naming the cells it covers (one cell on the serial and
+    worker paths, N lanes on the batched group path).  Conservation:
+
+    * ``harness.cell`` span count == ``group`` record count, and
+    * the cells covered by groups == the terminal cells whose ``done``
+      record carries ``spanned=True`` (store hits short-circuiting
+      *before* any section, e.g. in the batched group planner, are
+      terminal but unspanned).
+    """
+    violations: list[Violation] = []
+    groups = []
+    spanned_done: set[str] = set()
+    for record in ledger_records:
+        kind = record.get("kind")
+        if kind == "group":
+            groups.append(record)
+        elif (kind == "cell" and record.get("phase") == "done"
+                and record.get("spanned")):
+            spanned_done.add(str(record.get("cell")))
+    n_cell_spans = sum(1 for span in spans
+                       if span.get("name") == "harness.cell")
+    if n_cell_spans != len(groups):
+        violations.append(Violation(
+            "span_cell_conservation",
+            f"{n_cell_spans} harness.cell spans but {len(groups)} "
+            f"group records"))
+    covered: set[str] = set()
+    for group in groups:
+        covered.update(str(cell) for cell in group.get("cells", ()))
+    if covered != spanned_done:
+        missing = sorted(spanned_done - covered)
+        extra = sorted(covered - spanned_done)
+        violations.append(Violation(
+            "span_cell_conservation",
+            f"group coverage mismatch: {len(covered)} covered vs "
+            f"{len(spanned_done)} spanned-terminal cells"
+            + (f"; unaccounted {missing[:5]}" if missing else "")
+            + (f"; spurious {extra[:5]}" if extra else "")))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export + pipeline-timeline merge
+# ----------------------------------------------------------------------
+
+def spans_to_chrome(spans: Iterable[Mapping]) -> list[dict]:
+    """Convert spans to Chrome ``X`` events (one tid per recording pid).
+
+    Timestamps are ``perf_counter_ns`` values, per-process clocks -- so
+    each pid is normalised to its own earliest span.  What the viewer
+    shows per track is therefore exact durations and within-process
+    ordering, which is what harness spans mean.
+    """
+    spans = list(spans)
+    starts: dict[int, int] = {}
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        start = int(span["start_ns"])
+        if pid not in starts or start < starts[pid]:
+            starts[pid] = start
+    tids = {pid: index + 1 for index, pid in enumerate(sorted(starts))}
+    out = [{"ph": "M", "pid": HARNESS_PID, "name": "process_name",
+            "args": {"name": HARNESS_PROCESS}}]
+    for pid, tid in tids.items():
+        out.append({"ph": "M", "pid": HARNESS_PID, "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": f"pid {pid}"}})
+        out.append({"ph": "M", "pid": HARNESS_PID, "tid": tid,
+                    "name": "thread_sort_index",
+                    "args": {"sort_index": tid}})
+    timed = []
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        event = {
+            "ph": "X", "pid": HARNESS_PID, "tid": tids[pid],
+            "name": str(span["name"]),
+            "ts": round((int(span["start_ns"]) - starts[pid]) / 1000.0, 3),
+            "dur": round(int(span["dur_ns"]) / 1000.0, 3),
+        }
+        if span.get("cell"):
+            event["args"] = {"cell": span["cell"]}
+        timed.append(event)
+    timed.sort(key=lambda event: (event["tid"], event["ts"]))
+    return out + timed
+
+
+def merge_run_trace(run_dir: str | os.PathLike,
+                    out_path: str | os.PathLike) -> Path:
+    """One Perfetto-loadable trace: harness spans + pipeline timelines.
+
+    Merges the run's ``spans.jsonl`` with every ``timeline-*.json``
+    pipeline timeline saved into the run directory (``repro stats run
+    --timeline-out`` copies its Chrome export there when a ledger is
+    active).  The processes keep distinct pids and time units (harness
+    spans are host microseconds, pipeline tracks are simulated cycles);
+    Perfetto renders them as separate process groups in one view.
+    """
+    run_dir = Path(run_dir)
+    events = spans_to_chrome(read_spans(run_dir / "spans.jsonl"))
+    sources = ["spans.jsonl"]
+    for timeline_path in sorted(run_dir.glob("timeline-*.json")):
+        try:
+            payload = json.loads(timeline_path.read_text(encoding="utf-8"))
+        except ValueError:
+            continue
+        events.extend(payload.get("traceEvents", []))
+        sources.append(timeline_path.name)
+    out_path = Path(out_path)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro.obs.spans",
+            "run_dir": str(run_dir),
+            "sources": sources,
+            "time_unit": ("harness pid 3: 1 trace us == 1 host us; "
+                          "pipeline pid 1: 1 trace us == 1 simulated "
+                          "cycle"),
+        },
+    }
+    out_path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return out_path

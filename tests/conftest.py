@@ -42,6 +42,20 @@ def micro_trace(micro_program):
     return TraceGenerator(micro_program, seed=7).records(8_000)
 
 
+@pytest.fixture(autouse=True)
+def _no_run_ledger(monkeypatch):
+    """Disable the run ledger by default.
+
+    CLI entry points open a run ledger under ``.repro_cache/runs/``;
+    left enabled, every test that drives ``main()`` would litter the
+    repository working copy with run directories.  Ledger tests opt
+    back in with ``monkeypatch.setenv("REPRO_LEDGER", "1")`` (their own
+    setenv overrides this one) and point ``REPRO_CACHE_DIR`` at a
+    tmp path, or call ``start_run(root=tmp_path)`` directly.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+
+
 @pytest.fixture()
 def rng() -> random.Random:
     return random.Random(1234)

@@ -231,3 +231,123 @@ class TestAttribCommands:
         assert code == 1
         assert "REGRESSED" in out
         assert "1 regressed past thresholds" in out
+
+
+class TestRunsCommands:
+    @pytest.fixture()
+    def recorded_run(self, tmp_path, monkeypatch):
+        """An end-to-end ledgered `stats run` into an isolated cache."""
+        monkeypatch.setenv("REPRO_LEDGER", "1")
+        monkeypatch.setenv("REPRO_NO_PROGRESS", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["--scale", "smoke", "stats", "run", "noop",
+                     "--config", "base"]) == 0
+        return tmp_path / "cache" / "runs"
+
+    def test_stats_run_records_a_complete_run(self, recorded_run, capsys):
+        capsys.readouterr()
+        assert main(["runs", "list", "--root", str(recorded_run)]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "stats run noop" in out
+
+    def test_show_latest_check_passes(self, recorded_run, capsys):
+        capsys.readouterr()
+        code = main(["runs", "show", "--latest", "--cells", "--check",
+                     "--root", str(recorded_run)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status:   complete" in out
+        assert "queued>store_probe>prepare>simulate>invariants>done" in out
+        assert "conservation:" in out
+
+    def test_show_perfetto_merges_trace(self, recorded_run, tmp_path,
+                                        capsys):
+        import json
+
+        merged = tmp_path / "merged.json"
+        assert main(["runs", "show", "--latest", "--root",
+                     str(recorded_run), "--perfetto", str(merged)]) == 0
+        payload = json.loads(merged.read_text(encoding="utf-8"))
+        assert any(event.get("pid") == 3
+                   for event in payload["traceEvents"])
+
+    def test_ledger_disabled_records_nothing(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["--scale", "smoke", "stats", "run", "noop",
+                     "--config", "base"]) == 0
+        assert not (tmp_path / "cache" / "runs").exists()
+
+    def test_show_incomplete_run_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger.create("crashed", root=tmp_path)
+        ledger.cell("stuck", "queued")
+        ledger.close()  # no terminal record, no finish
+        code = main(["runs", "show", ledger.run_id, "--root",
+                     str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INCOMPLETE" in out
+        assert "running/crashed" in out
+
+    def test_show_unknown_run_exits_two(self, tmp_path, capsys):
+        assert main(["runs", "show", "nope", "--root",
+                     str(tmp_path)]) == 2
+
+    def test_list_empty_root(self, tmp_path, capsys):
+        assert main(["runs", "list", "--root", str(tmp_path)]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_check_detects_tampered_spans(self, recorded_run, capsys):
+        run_dir = next(d for d in recorded_run.iterdir() if d.is_dir())
+        spans_path = run_dir / "spans.jsonl"
+        lines = spans_path.read_text(encoding="utf-8").splitlines()
+        spans_path.write_text("\n".join(lines[:-1]) + "\n",
+                              encoding="utf-8")
+        capsys.readouterr()
+        code = main(["runs", "show", "--latest", "--check", "--root",
+                     str(recorded_run)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INVARIANT VIOLATION" in out
+
+
+class TestMetricsCommands:
+    @pytest.fixture()
+    def snapshot_file(self, tmp_path):
+        from repro.obs import save_snapshot
+
+        path = tmp_path / "snap.json"
+        save_snapshot(path, {"btb.hits": 5, "btb.misses": 2},
+                      meta={"workload": "noop", "config": "base",
+                            "scale": "smoke"})
+        return path
+
+    def test_export_single_snapshot_with_labels(self, snapshot_file,
+                                                capsys):
+        assert main(["metrics", "export", str(snapshot_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_btb_hits gauge" in out
+        assert 'repro_btb_hits{config="base",scale="smoke",' \
+               'workload="noop"} 5' in out
+
+    def test_export_merges_multiple(self, snapshot_file, tmp_path, capsys):
+        from repro.obs import save_snapshot
+
+        other = tmp_path / "other.json"
+        save_snapshot(other, {"btb.hits": 10})
+        assert main(["metrics", "export", str(snapshot_file),
+                     str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "# merged from 2 snapshots" in out
+        assert "repro_btb_hits 15" in out
+
+    def test_export_to_file(self, snapshot_file, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(["metrics", "export", str(snapshot_file),
+                     "--out", str(out_path)]) == 0
+        assert "prometheus text ->" in capsys.readouterr().out
+        assert out_path.read_text(encoding="utf-8").endswith("\n")

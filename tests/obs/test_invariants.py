@@ -140,3 +140,45 @@ class TestCheckSnapshot:
         snapshot["btb.entries"] = 64
         assert any(v.invariant == "cross_layer_bounds"
                    for v in check_snapshot(snapshot))
+
+
+class TestTraceDropAccounting:
+    def _snapshot(self, emitted, retained, dropped):
+        return {"trace.emitted": emitted, "trace.retained": retained,
+                "trace.dropped_events": dropped}
+
+    def test_consistent_accounting_passes(self):
+        assert check_snapshot(self._snapshot(10, 8, 2)) == []
+        assert check_snapshot(self._snapshot(5, 5, 0)) == []
+
+    def test_mismatch_fires(self):
+        violations = check_snapshot(self._snapshot(10, 8, 1))
+        assert any(v.invariant == "trace_drop_accounting"
+                   for v in violations)
+
+    def test_dropped_exceeding_emitted_fires(self):
+        assert check_snapshot(self._snapshot(3, 0, 4))
+
+    def test_gated_off_without_trace_keys(self):
+        names = [inv.name for inv in applicable_invariants({"btb.hits": 1})]
+        assert "trace_drop_accounting" not in names
+
+    def test_live_simulator_gauges_conserve(self, micro_program,
+                                            micro_trace):
+        # A deliberately tiny ring buffer forces drops; the registered
+        # trace.* gauges must still account for every emitted event.
+        from repro.frontend.config import FrontEndConfig, SkiaConfig
+        from repro.frontend.engine import FrontEndSimulator
+        from repro.obs import EventTrace
+
+        simulator = FrontEndSimulator(
+            micro_program, FrontEndConfig(skia=SkiaConfig()))
+        simulator.attach_trace(EventTrace(capacity=64))
+        simulator.run(micro_trace[:4_000], warmup=500)
+        snapshot = simulator.metrics_snapshot()
+        assert snapshot["trace.dropped_events"] > 0
+        assert (snapshot["trace.emitted"]
+                == snapshot["trace.retained"]
+                + snapshot["trace.dropped_events"])
+        assert not [v for v in check_snapshot(snapshot)
+                    if v.invariant == "trace_drop_accounting"]

@@ -59,8 +59,56 @@ class TestStructuralGuard:
     def test_record_timeline_flag_defaults_off(self):
         assert FrontEndConfig().record_timeline is False
 
+    def test_default_run_has_no_ledger_telemetry(self):
+        # Telemetry-off is structural: no active ledger, no span sink.
+        # The harness consults active_ledger() once per *cell* and the
+        # profiler sink once per section pop (itself gated on
+        # PROFILER.enabled), so nothing rides the per-record hot path.
+        from repro.obs import spans as spans_mod
+        from repro.obs.ledger import active_ledger
+
+        assert active_ledger() is None
+        assert spans_mod.active_recorder() is None
+        assert PROFILER.sink is None
+
 
 class TestCostGuard:
+    #: A fully-ledgered harness run may cost at most this factor over an
+    #: unledgered one -- the lifecycle records and spans are per-cell
+    #: and per-section, never per-record, so the headroom is generous.
+    MAX_LEDGER_FACTOR = 1.5
+
+    def test_ledgered_run_within_small_factor(self, monkeypatch, tmp_path):
+        import time as time_mod
+
+        from repro.harness.parallel import Cell
+        from repro.harness.runner import ExperimentRunner
+        from repro.harness.scale import Scale
+        from repro.obs.ledger import start_run
+        from repro.workloads.cache import WorkloadCache
+
+        monkeypatch.setenv("REPRO_LEDGER", "1")
+        monkeypatch.setenv("REPRO_NO_PROGRESS", "1")
+        tiny = Scale("test", records=6_000, warmup=2_000)
+        cells = [Cell("noop", _config())]
+
+        def timed(ledgered: bool) -> float:
+            runner = ExperimentRunner(scale=tiny, cache=WorkloadCache(),
+                                      store=None)
+            start = time_mod.perf_counter()
+            if ledgered:
+                with start_run("overhead", root=tmp_path / "runs"):
+                    runner.run_cells(cells, jobs=1)
+            else:
+                runner.run_cells(cells, jobs=1)
+            return time_mod.perf_counter() - start
+
+        plain = min(timed(False) for _ in range(3))
+        ledgered = min(timed(True) for _ in range(3))
+        assert ledgered <= plain * self.MAX_LEDGER_FACTOR + 0.05, (
+            f"ledgered run {ledgered:.3f}s vs plain {plain:.3f}s exceeds "
+            f"{self.MAX_LEDGER_FACTOR}x")
+
     def test_instrumented_run_within_small_factor(self, micro_program,
                                                   micro_trace):
         # min-of-3 filters scheduler noise; the generous factor keeps

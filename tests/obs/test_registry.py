@@ -101,3 +101,44 @@ class TestSnapshotAlgebra:
         loaded, meta = load_snapshot(path)
         assert loaded == {"x": 1}
         assert meta == {}
+
+
+class TestPrometheusExport:
+    def test_type_lines_and_values(self):
+        from repro.obs import snapshot_to_prometheus
+
+        text = snapshot_to_prometheus({"btb.hits": 5, "engine.mean": 1.25})
+        lines = text.splitlines()
+        assert "# TYPE repro_btb_hits gauge" in lines
+        assert "repro_btb_hits 5" in lines
+        assert "repro_engine_mean 1.25" in lines
+        assert text.endswith("\n")
+
+    def test_names_sanitised_and_sorted(self):
+        from repro.obs import snapshot_to_prometheus
+
+        text = snapshot_to_prometheus({"z.last": 1, "a.first": 2,
+                                       "sbb/u-way:hits": 3})
+        samples = [line for line in text.splitlines()
+                   if not line.startswith("#")]
+        assert samples == ["repro_a_first 2", "repro_sbb_u_way_hits 3",
+                           "repro_z_last 1"]
+
+    def test_labels_attached_and_escaped(self):
+        from repro.obs import snapshot_to_prometheus
+
+        text = snapshot_to_prometheus(
+            {"x": 1}, labels={"workload": 'vo"ter\n', "seed": "7"})
+        assert (r'repro_x{seed="7",workload="vo\"ter\n"} 1'
+                in text.splitlines())
+
+    def test_empty_snapshot_renders_empty(self):
+        from repro.obs import snapshot_to_prometheus
+
+        assert snapshot_to_prometheus({}) == ""
+
+    def test_registry_to_prometheus(self):
+        registry = MetricsRegistry()
+        registry.scope("btb").gauge("hits", lambda: 4)
+        text = registry.to_prometheus(labels={"workload": "noop"})
+        assert 'repro_btb_hits{workload="noop"} 4' in text

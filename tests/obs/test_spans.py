@@ -1,0 +1,225 @@
+"""Span tracing: sink capture, rollups, conservation, trace merge.
+
+The load-bearing property is *conservation by construction*: the
+recorder is the profiler's sink, so span rollups must equal profiler
+section totals exactly -- these tests drive the real profiler and then
+corrupt the stream in each possible way to prove the checker catches
+drops, duplicates and mis-stamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import spans as spans_mod
+from repro.obs.profiler import PROFILER
+from repro.obs.spans import (
+    HARNESS_PID,
+    SpanRecorder,
+    check_cell_conservation,
+    check_span_conservation,
+    merge_run_trace,
+    read_spans,
+    span_rollup,
+    spans_to_chrome,
+)
+
+
+@pytest.fixture()
+def recorded(tmp_path):
+    """Drive the real profiler through a recorder; yield (spans, delta)."""
+    recorder = SpanRecorder(tmp_path / "spans.jsonl")
+    before = PROFILER.snapshot()
+    previous_enabled, previous_sink = PROFILER.enabled, PROFILER.sink
+    PROFILER.enabled = True
+    PROFILER.sink = recorder.on_section
+    try:
+        recorder.set_cell("cell-a")
+        for _ in range(3):
+            with PROFILER.section("t.outer"):
+                with PROFILER.section("t.inner"):
+                    pass
+        recorder.set_cell(None)
+        with PROFILER.section("t.outer"):
+            pass
+    finally:
+        PROFILER.enabled, PROFILER.sink = previous_enabled, previous_sink
+    recorder.close()
+    delta = {}
+    for name, stats in PROFILER.snapshot().items():
+        base = before.get(name, {})
+        calls = stats["calls"] - base.get("calls", 0)
+        total = stats["total_ns"] - base.get("total_ns", 0)
+        if calls or total:
+            delta[name] = {"calls": calls, "total_ns": total,
+                           "exclusive_ns": (stats["exclusive_ns"]
+                                            - base.get("exclusive_ns", 0))}
+    return read_spans(tmp_path / "spans.jsonl"), delta
+
+
+class TestRecorder:
+    def test_one_span_per_section_pop(self, recorded):
+        spans, _ = recorded
+        names = sorted(span["name"] for span in spans)
+        assert names == ["t.inner"] * 3 + ["t.outer"] * 4
+
+    def test_cell_stamping_follows_set_cell(self, recorded):
+        spans, _ = recorded
+        by_cell = {}
+        for span in spans:
+            by_cell.setdefault(span["cell"], []).append(span["name"])
+        assert sorted(by_cell["cell-a"]) == ["t.inner"] * 3 + ["t.outer"] * 3
+        assert by_cell[None] == ["t.outer"]
+
+    def test_spans_carry_pid(self, recorded):
+        spans, _ = recorded
+        assert {span["pid"] for span in spans} == {os.getpid()}
+
+    def test_flush_counts_and_is_idempotent(self, tmp_path):
+        recorder = SpanRecorder(tmp_path / "s.jsonl")
+        recorder.on_section("a", 100, 5)
+        recorder.on_section("b", 110, 7)
+        assert recorder.flush() == 2
+        assert recorder.flush() == 0
+        recorder.close()
+        assert len(read_spans(tmp_path / "s.jsonl")) == 2
+        assert recorder.recorded == 2
+
+    def test_reader_tolerates_torn_final_line(self, tmp_path):
+        recorder = SpanRecorder(tmp_path / "s.jsonl")
+        recorder.on_section("a", 100, 5)
+        recorder.close()
+        with open(tmp_path / "s.jsonl", "a", encoding="utf-8") as handle:
+            handle.write('{"name": "b", "start')
+        assert [s["name"] for s in read_spans(tmp_path / "s.jsonl")] == ["a"]
+
+
+class TestSpanConservation:
+    def test_exact_by_construction(self, recorded):
+        spans, delta = recorded
+        assert check_span_conservation(spans, {os.getpid(): delta}) == []
+
+    def test_rollup_matches_profiler_delta(self, recorded):
+        spans, delta = recorded
+        rollup = span_rollup(spans)
+        pid = os.getpid()
+        for name, stats in delta.items():
+            count, total = rollup[(pid, name)]
+            assert count == stats["calls"]
+            assert total == stats["total_ns"]
+
+    def test_dropped_span_detected(self, recorded):
+        spans, delta = recorded
+        violations = check_span_conservation(spans[:-1],
+                                             {os.getpid(): delta})
+        assert violations
+        assert all(v.invariant == "span_profiler_conservation"
+                   for v in violations)
+
+    def test_duplicated_span_detected(self, recorded):
+        spans, delta = recorded
+        violations = check_span_conservation(spans + [spans[0]],
+                                             {os.getpid(): delta})
+        assert violations
+
+    def test_clock_drift_detected(self, recorded):
+        spans, delta = recorded
+        tampered = [dict(span) for span in spans]
+        tampered[0]["dur_ns"] += 1
+        assert check_span_conservation(tampered, {os.getpid(): delta})
+
+    def test_span_without_profile_section_detected(self, recorded):
+        spans, delta = recorded
+        stray = dict(spans[0], name="t.phantom")
+        assert check_span_conservation(spans + [stray],
+                                       {os.getpid(): delta})
+
+
+class TestCellConservation:
+    def _ledger(self, cells):
+        records = [{"kind": "group", "cells": list(cells),
+                    "n": len(cells), "mode": "serial"}]
+        for cell in cells:
+            records.append({"kind": "cell", "cell": cell, "phase": "done",
+                            "result": "simulated", "spanned": True})
+        return records
+
+    def _spans(self, n):
+        return [{"name": "harness.cell", "start_ns": i, "dur_ns": 1,
+                 "pid": 1, "cell": None} for i in range(n)]
+
+    def test_exact_coverage_passes(self):
+        assert check_cell_conservation(self._ledger(["a", "b"]),
+                                       self._spans(1)) == []
+
+    def test_span_group_count_mismatch(self):
+        violations = check_cell_conservation(self._ledger(["a"]),
+                                             self._spans(2))
+        assert any("harness.cell spans" in v.message for v in violations)
+
+    def test_uncovered_spanned_cell_detected(self):
+        records = self._ledger(["a"])
+        records.append({"kind": "cell", "cell": "ghost", "phase": "done",
+                        "result": "simulated", "spanned": True})
+        violations = check_cell_conservation(records, self._spans(1))
+        assert any("ghost" in v.message for v in violations)
+
+    def test_unspanned_store_hits_are_exempt(self):
+        records = self._ledger(["a"])
+        records.append({"kind": "cell", "cell": "hit", "phase": "done",
+                        "result": "store_hit", "spanned": False})
+        assert check_cell_conservation(records, self._spans(1)) == []
+
+
+class TestChromeExport:
+    def test_per_pid_normalisation_and_metadata(self):
+        spans = [
+            {"name": "a", "start_ns": 5_000_000, "dur_ns": 2_000,
+             "pid": 10, "cell": "c1"},
+            {"name": "b", "start_ns": 5_001_000, "dur_ns": 1_000,
+             "pid": 10, "cell": None},
+            {"name": "a", "start_ns": 9_000_000, "dur_ns": 4_000,
+             "pid": 20, "cell": None},
+        ]
+        events = spans_to_chrome(spans)
+        assert all(event["pid"] == HARNESS_PID for event in events)
+        timed = [e for e in events if e["ph"] == "X"]
+        # Each pid's earliest span normalises to ts 0 on its own track.
+        by_tid = {}
+        for event in timed:
+            by_tid.setdefault(event["tid"], []).append(event)
+        assert len(by_tid) == 2
+        for events_on_tid in by_tid.values():
+            assert min(e["ts"] for e in events_on_tid) == 0.0
+        named = [e for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in named} == {"pid 10", "pid 20"}
+        cells = [e["args"]["cell"] for e in timed if "args" in e]
+        assert cells == ["c1"]
+
+    def test_merge_run_trace_combines_sources(self, tmp_path):
+        recorder = SpanRecorder(tmp_path / "spans.jsonl")
+        recorder.on_section("harness.cell", 1_000, 500)
+        recorder.close()
+        timeline = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "fetch",
+             "ts": 0, "dur": 3}]}
+        (tmp_path / "timeline-c1.json").write_text(json.dumps(timeline))
+        (tmp_path / "timeline-bad.json").write_text("{not json")
+        out = merge_run_trace(tmp_path, tmp_path / "merged.json")
+        payload = json.loads(out.read_text())
+        pids = {event["pid"] for event in payload["traceEvents"]}
+        assert pids == {HARNESS_PID, 1}
+        assert payload["metadata"]["sources"] == ["spans.jsonl",
+                                                  "timeline-c1.json"]
+
+    def test_module_level_set_cell_is_safe_without_recorder(self):
+        previous = spans_mod.active_recorder()
+        spans_mod.set_active_recorder(None)
+        try:
+            spans_mod.set_cell("anything")  # must not raise
+        finally:
+            spans_mod.set_active_recorder(previous)
