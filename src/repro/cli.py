@@ -25,12 +25,21 @@ Commands
 ``runs``       -- the run ledger: list recorded harness runs
                   (``runs list``) or inspect one (``runs show``) --
                   per-cell lifecycle, span/profiler conservation
-                  checks, merged Perfetto trace export.
+                  checks, merged Perfetto trace export; both take
+                  ``--json`` for machine-readable output.
 ``metrics``    -- export saved metric snapshots in Prometheus text
                   exposition format (``metrics export``).
+``intervals``  -- interval telemetry: simulate one cell with per-window
+                  counters (``intervals run``), render a saved series
+                  as sparklines + markdown (``intervals plot``), or
+                  compare two series (``intervals diff``).
+``divergence`` -- cross-engine / cross-config divergence bisection
+                  (``divergence bisect``): find the first window and
+                  record where two sides disagree.
 
 Harness commands that simulate (``experiment``, ``stats run/check``,
-``attrib run``, ``bench run``) record a run ledger under
+``attrib run``, ``bench run``, ``intervals run``) record a run ledger
+under
 ``.repro_cache/runs/<run_id>/`` by default; set ``REPRO_LEDGER=0`` to
 disable.
 """
@@ -291,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     runs_list.add_argument("--root", metavar="DIR", default=None,
                            help="runs root (default: REPRO_CACHE_DIR or "
                                 ".repro_cache, /runs)")
+    runs_list.add_argument("--json", action="store_true",
+                           help="machine-readable output (one JSON array "
+                                "of run summaries)")
     runs_show = runs_sub.add_parser(
         "show", help="inspect one run's manifest; exits non-zero when "
                      "cells are missing a terminal state or --check "
@@ -310,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("--root", metavar="DIR", default=None,
                            help="runs root (default: REPRO_CACHE_DIR or "
                                 ".repro_cache, /runs)")
+    runs_show.add_argument("--json", action="store_true",
+                           help="machine-readable output (one JSON run "
+                                "summary with per-cell lifecycle)")
 
     metrics = sub.add_parser(
         "metrics", help="export metric snapshots for external tooling")
@@ -323,6 +338,94 @@ def build_parser() -> argparse.ArgumentParser:
                                      "merged (counters summed) first")
     metrics_export.add_argument("--out", metavar="PATH", default=None,
                                 help="write to a file instead of stdout")
+
+    intervals = sub.add_parser(
+        "intervals", help="interval telemetry: per-window counter time "
+                          "series")
+    intervals_sub = intervals.add_subparsers(dest="intervals_command",
+                                             required=True)
+    intervals_run = intervals_sub.add_parser(
+        "run", help="simulate one cell with window telemetry; exits "
+                    "non-zero on an interval-conservation violation")
+    intervals_run.add_argument("workload", choices=sorted(WORKLOAD_NAMES))
+    intervals_run.add_argument("--config", default="skia",
+                               choices=list(CONFIG_NAMES),
+                               help="configuration to simulate "
+                                    "(default: skia)")
+    intervals_run.add_argument("--window", type=int, default=1000,
+                               metavar="N",
+                               help="records per window (default 1000)")
+    intervals_run.add_argument("--out", metavar="PATH", default=None,
+                               help="save the series as JSON (input to "
+                                    "intervals plot / diff)")
+    intervals_run.add_argument("--markdown", metavar="PATH", default=None,
+                               help="also write the markdown time series")
+    intervals_run.add_argument("--metrics", nargs="+", default=None,
+                               metavar="NAME",
+                               help="metrics to render (default: ipc, "
+                                    "btb_miss_mpki, rescue_rate and the "
+                                    "per-cause resteer columns)")
+    _add_common_options(intervals_run, suppress=True)
+
+    intervals_plot = intervals_sub.add_parser(
+        "plot", help="render a saved series as sparklines + a markdown "
+                     "table")
+    intervals_plot.add_argument("series", help="JSON from intervals run "
+                                               "--out")
+    intervals_plot.add_argument("--metrics", nargs="+", default=None,
+                                metavar="NAME",
+                                help="metrics to render")
+    intervals_plot.add_argument("--out", metavar="PATH", default=None,
+                                help="write to a file instead of stdout")
+
+    intervals_diff = intervals_sub.add_parser(
+        "diff", help="compare two saved series; exits non-zero when "
+                     "they differ")
+    intervals_diff.add_argument("a", help="baseline series JSON")
+    intervals_diff.add_argument("b", help="candidate series JSON")
+    intervals_diff.add_argument("--top", type=int, default=20, metavar="N",
+                                help="differing rows to print (default 20)")
+
+    divergence = sub.add_parser(
+        "divergence", help="cross-engine / cross-config divergence "
+                           "bisection")
+    divergence_sub = divergence.add_subparsers(dest="divergence_command",
+                                               required=True)
+    divergence_bisect = divergence_sub.add_parser(
+        "bisect", help="find the first window and record where two "
+                       "sides disagree; exits 1 when they diverge")
+    divergence_bisect.add_argument("workload",
+                                   choices=sorted(WORKLOAD_NAMES))
+    divergence_bisect.add_argument("--a", dest="engine_a",
+                                   default="object",
+                                   choices=["object", "compiled",
+                                            "batched"],
+                                   help="A-side engine (default: object)")
+    divergence_bisect.add_argument("--b", dest="engine_b",
+                                   default="batched",
+                                   choices=["object", "compiled",
+                                            "batched"],
+                                   help="B-side engine (default: batched)")
+    divergence_bisect.add_argument("--config", default="skia",
+                                   choices=list(CONFIG_NAMES),
+                                   help="configuration for both sides "
+                                        "(default: skia)")
+    divergence_bisect.add_argument("--config-b", default=None,
+                                   choices=list(CONFIG_NAMES),
+                                   help="B-side configuration (default: "
+                                        "same as --config; when it "
+                                        "differs, only counter rows are "
+                                        "compared)")
+    divergence_bisect.add_argument("--window", type=int, default=1000,
+                                   metavar="N",
+                                   help="window-pass granularity in "
+                                        "records (default 1000)")
+    divergence_bisect.add_argument("--json", metavar="PATH", default=None,
+                                   help="save the report as JSON")
+    divergence_bisect.add_argument("--no-events", action="store_true",
+                                   help="skip the object-oracle event "
+                                        "replay of the divergent record")
+    _add_common_options(divergence_bisect, suppress=True)
     return parser
 
 
@@ -838,11 +941,47 @@ def _print_run_summary(summary) -> None:
               f"{', '.join(summary.incomplete)}")
 
 
+def _summary_jsonable(summary, cells: bool = False) -> dict:
+    """A ``RunSummary`` as a stable JSON-safe dict (the ``--json``
+    contract of ``runs list`` / ``runs show``; documented in
+    docs/observability.md)."""
+    out = {
+        "run_id": summary.run_id,
+        "command": summary.command,
+        "created": summary.created,
+        "schema_version": summary.schema_version,
+        "status": summary.status,
+        "cells_seen": len(summary.cells),
+        "cells_submitted": summary.grid_cells,
+        "results": summary.results(),
+        "groups": summary.groups,
+        "group_cells": summary.group_cells,
+        "heartbeat_pids": sorted(summary.heartbeat_pids),
+        "stragglers": summary.stragglers,
+        "incomplete": summary.incomplete,
+    }
+    if cells:
+        out["cells"] = {
+            cell_id: {"phases": list(state.phases),
+                      "result": state.fields.get("result",
+                                                 state.terminal),
+                      "wall_s": state.wall_s,
+                      "straggler": state.straggler}
+            for cell_id, state in sorted(summary.cells.items())}
+    return out
+
+
 def _run_runs(args) -> int:
+    import json
+
     from repro.obs import ledger as ledger_mod
 
     if args.runs_command == "list":
         summaries = ledger_mod.list_runs(args.root)
+        if args.json:
+            print(json.dumps([_summary_jsonable(summary)
+                              for summary in summaries], indent=2))
+            return 0
         if not summaries:
             print(f"no runs under {ledger_mod.runs_root(args.root)}")
             return 0
@@ -867,6 +1006,12 @@ def _run_runs(args) -> int:
         print(f"no manifest for run {run_id} under "
               f"{ledger_mod.runs_root(args.root)}")
         return 2
+    if args.json:
+        # The JSON view always carries the per-cell lifecycle, and
+        # short-circuits the human-oriented extras (--check output and
+        # --perfetto progress lines are not JSON).
+        print(json.dumps(_summary_jsonable(summary, cells=True), indent=2))
+        return 1 if summary.incomplete else 0
     _print_run_summary(summary)
     failures = 1 if summary.incomplete else 0
 
@@ -932,6 +1077,102 @@ def _run_metrics(args) -> int:
     return 0
 
 
+def _run_intervals(args) -> int:
+    from repro.obs.intervals import IntervalSeries, diff_series, sparkline
+
+    if args.intervals_command == "plot":
+        series = IntervalSeries.load(args.series)
+        rendered = series.render_markdown(args.metrics)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"time series -> {args.out}")
+        else:
+            print(rendered, end="")
+        return 0
+
+    if args.intervals_command == "diff":
+        series_a = IntervalSeries.load(args.a)
+        series_b = IntervalSeries.load(args.b)
+        differences = diff_series(series_a, series_b)
+        if not differences:
+            print(f"series are identical ({series_a.windows} windows, "
+                  f"fingerprint {series_a.fingerprint()})")
+            return 0
+        print(f"comparing {args.a} (fingerprint "
+              f"{series_a.fingerprint()}) -> {args.b} (fingerprint "
+              f"{series_b.fingerprint()})")
+        for window, column, a_val, b_val in differences[:args.top]:
+            where = "geometry" if window < 0 else f"window {window}"
+            print(f"  {where}: {column} {a_val} vs {b_val}")
+        if len(differences) > args.top:
+            print(f"  ... {len(differences) - args.top} more")
+        return 1
+
+    # intervals run
+    import dataclasses
+
+    from repro.obs import check_snapshot
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    store = None if args.no_store else "default"
+    runner = ExperimentRunner(scale=scale, store=store)
+    config = dataclasses.replace(_stats_config(args.config),
+                                 interval_size=args.window)
+    stats, series = runner.run_with_intervals(args.workload, config)
+    print(f"{args.workload} [{args.config}] @ {scale.name} scale: "
+          f"{series.windows} windows x {series.interval_size} records, "
+          f"fingerprint {series.fingerprint()}")
+    for metric in (args.metrics or series.metric_names()):
+        print(f"  {metric:24s} {sparkline(series.metric_series(metric))}")
+    if args.out:
+        series.save(args.out)
+        print(f"series -> {args.out}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(series.render_markdown(args.metrics))
+        print(f"time series -> {args.markdown}")
+
+    snapshot = runner.metrics_for(args.workload, config)
+    if snapshot is None:
+        print("no metric snapshot available; conservation not checked")
+        return 0
+    violations = check_snapshot(snapshot)
+    if violations:
+        _print_violations(violations, f"{args.workload}/{args.config}")
+        return 1
+    print("interval conservation: column sums equal the aggregate "
+          "counters exactly")
+    return 0
+
+
+def _run_divergence(args) -> int:
+    import json
+
+    from repro.obs.divergence import bisect_divergence
+    from repro.workloads.cache import build_trace
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    config_a = _stats_config(args.config)
+    config_b = (_stats_config(args.config_b)
+                if args.config_b is not None else None)
+    program = build_program(args.workload)
+    records = build_trace(args.workload, scale.records)
+    report = bisect_divergence(
+        program, records, config_a, config_b,
+        engine_a=args.engine_a, engine_b=args.engine_b,
+        warmup=scale.warmup, window=args.window,
+        oracle_events=not args.no_events)
+    print(report.render(), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_jsonable(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"report -> {args.json}")
+    return 0 if report.identical else 1
+
+
 def _dispatch(args) -> int:
     if args.command == "compare":
         return _run_compare(args)
@@ -960,6 +1201,10 @@ def _dispatch(args) -> int:
         return _run_runs(args)
     if args.command == "metrics":
         return _run_metrics(args)
+    if args.command == "intervals":
+        return _run_intervals(args)
+    if args.command == "divergence":
+        return _run_divergence(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -989,6 +1234,9 @@ def _ledgered_command(args) -> str | None:
         return f"attrib run {args.workload} --config {args.config}"
     if args.command == "bench" and args.bench_command == "run":
         return "bench run"
+    if args.command == "intervals" and args.intervals_command == "run":
+        return (f"intervals run {args.workload} --config {args.config} "
+                f"--window {args.window}")
     return None
 
 

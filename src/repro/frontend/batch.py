@@ -257,13 +257,49 @@ class _Lane:
         self.wp_at_count_start = 0
         self.processed = 0
 
+        # Interval telemetry: boundaries are record indices, so the lane
+        # splits its chunks there and emits between kernel invocations
+        # (the kernel flushes its chunk-local accumulators into
+        # ``sim.stats`` at the end of every ``_advance``, so the stats
+        # object is exact at each boundary).
+        self.intervals = simulator.intervals
+        self.next_boundary = 0
+        if self.intervals is not None:
+            self.intervals.warmup = warmup
+            self.next_boundary = self.intervals.interval_size
+
     def advance(self, start: int, stop: int) -> None:
         """Advance through records [start, stop).
 
-        Splits the segment at the warmup boundary so the warmup ->
-        counting transition happens between kernel invocations -- the
-        kernel then treats ``counting`` as segment-constant.
+        Splits the segment at interval-window boundaries (emitting one
+        telemetry row per crossing) and at the warmup boundary, so both
+        transitions happen between kernel invocations -- the kernel then
+        treats ``counting`` as segment-constant and the per-window rows
+        cut at exactly the record indices the object engines use.
         """
+        intervals = self.intervals
+        if intervals is None:
+            self._advance_warm(start, stop)
+            return
+        size = intervals.interval_size
+        cursor = start
+        while cursor < stop:
+            boundary = self.next_boundary
+            if boundary <= stop:
+                self._advance_warm(cursor, boundary)
+                intervals.boundary(
+                    boundary, self.sim.stats, self.counted_instructions,
+                    self.counted_blocks,
+                    self.retire_free - self.cycles_at_count_start
+                    if self.counting else 0.0)
+                self.next_boundary = boundary + size
+                cursor = boundary
+            else:
+                self._advance_warm(cursor, stop)
+                cursor = stop
+
+    def _advance_warm(self, start: int, stop: int) -> None:
+        """One segment, split at the warmup boundary."""
         if not self.counting:
             warmup = self.warmup
             if start < warmup < stop:
@@ -983,6 +1019,12 @@ class _Lane:
         """Final stats assembly; mirrors the engine's loop epilogue."""
         sim = self.sim
         stats = sim.stats
+        if self.intervals is not None:
+            self.intervals.finish(
+                self.processed, stats, self.counted_instructions,
+                self.counted_blocks,
+                self.retire_free - self.cycles_at_count_start
+                if self.counting else 0.0)
         sim._records_seen += self.processed
         stats.instructions = self.counted_instructions
         stats.blocks = self.counted_blocks

@@ -134,6 +134,13 @@ class FrontEndConfig:
     # repro.obs.TimelineRecorder at init; the default (False) keeps the
     # hot path at one None check per record.
     record_timeline: bool = False
+    # Interval telemetry window, in retired records (0 disables).  When
+    # positive the simulator attaches a repro.obs.IntervalCollector and
+    # every engine -- object, compiled, batched -- cuts a stats row at
+    # the same record-index boundaries, so the resulting IntervalSeries
+    # is bit-identical across execution paths.  Being a config field it
+    # lands in the content-addressed store key like every other knob.
+    interval_size: int = 0
 
     # --- Skia -------------------------------------------------------------
     skia: SkiaConfig = field(default_factory=SkiaConfig.disabled)

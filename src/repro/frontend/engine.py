@@ -33,6 +33,7 @@ from repro.frontend.config import FrontEndConfig
 from repro.frontend.stats import SimStats
 from repro.obs import (
     EventTrace,
+    IntervalCollector,
     MetricsRegistry,
     TimelineRecorder,
     snapshot_from_stats,
@@ -63,10 +64,13 @@ class FrontEndSimulator:
         self.trace: EventTrace | None = None
         self.timeline: TimelineRecorder | None = None
         self.attribution = None
+        self.intervals: IntervalCollector | None = None
         self._records_seen = 0
         self._register_metrics()
         if config.record_timeline:
             self.attach_timeline(TimelineRecorder())
+        if config.interval_size > 0:
+            self.intervals = IntervalCollector(config.interval_size)
 
     def _register_metrics(self) -> None:
         """Give every hardware structure a scope in the registry."""
@@ -123,6 +127,18 @@ class FrontEndSimulator:
         self.attribution = aggregator
         return aggregator
 
+    def attach_intervals(self, collector: IntervalCollector
+                         ) -> IntervalCollector:
+        """Replace/enable the interval collector for subsequent runs.
+
+        Normally the collector comes from ``config.interval_size``; the
+        divergence bisector attaches its own (same window, plus a
+        ``state_probe``) to sample structure-occupancy digests at the
+        window boundaries.
+        """
+        self.intervals = collector
+        return collector
+
     def metrics_snapshot(self) -> dict[str, float]:
         """One flat dict: structure gauges + post-warm-up ``sim.*``
         counters + ``config.*`` gates for the invariant checks."""
@@ -130,6 +146,8 @@ class FrontEndSimulator:
         snapshot.update(snapshot_from_stats(
             self.stats, skia_enabled=self.skia is not None,
             comparator=self.config.comparator))
+        if self.intervals is not None:
+            snapshot.update(self.intervals.snapshot())
         return snapshot
 
     @staticmethod
@@ -176,6 +194,14 @@ class FrontEndSimulator:
         timeline = self.timeline
         resteer_latency = self._resteer_latency
         records_seen = self._records_seen
+
+        intervals = self.intervals
+        interval_size = 0
+        next_boundary = 0
+        if intervals is not None:
+            intervals.warmup = warmup
+            interval_size = intervals.interval_size
+            next_boundary = interval_size
 
         iag_free = 0.0
         fetch_free = 0.0
@@ -343,7 +369,18 @@ class FrontEndSimulator:
                 counted_instructions += record.n_instr
                 counted_blocks += 1
             prev_taken = record.taken
+            if intervals is not None and index + 1 == next_boundary:
+                intervals.boundary(
+                    next_boundary, stats, counted_instructions,
+                    counted_blocks,
+                    retire_free - cycles_at_count_start if counting else 0.0)
+                next_boundary += interval_size
 
+        if intervals is not None:
+            intervals.finish(
+                records_seen - self._records_seen, stats,
+                counted_instructions, counted_blocks,
+                retire_free - cycles_at_count_start if counting else 0.0)
         self._records_seen = records_seen
         stats.instructions = counted_instructions
         stats.blocks = counted_blocks
@@ -409,6 +446,14 @@ class FrontEndSimulator:
         col_fallthrough = compiled.column("fallthrough")
         col_first_line, col_n_lines = compiled.derived(line_size)
         kind_by_code = KIND_BY_CODE
+
+        intervals = self.intervals
+        interval_size = 0
+        next_boundary = 0
+        if intervals is not None:
+            intervals.warmup = warmup
+            interval_size = intervals.interval_size
+            next_boundary = interval_size
 
         iag_free = 0.0
         fetch_free = 0.0
@@ -584,7 +629,18 @@ class FrontEndSimulator:
                 counted_instructions += n_instr
                 counted_blocks += 1
             prev_taken = taken
+            if intervals is not None and index + 1 == next_boundary:
+                intervals.boundary(
+                    next_boundary, stats, counted_instructions,
+                    counted_blocks,
+                    retire_free - cycles_at_count_start if counting else 0.0)
+                next_boundary += interval_size
 
+        if intervals is not None:
+            intervals.finish(
+                records_seen - self._records_seen, stats,
+                counted_instructions, counted_blocks,
+                retire_free - cycles_at_count_start if counting else 0.0)
         self._records_seen = records_seen
         stats.instructions = counted_instructions
         stats.blocks = counted_blocks

@@ -8,7 +8,7 @@ arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.isa.branch import BranchKind
 
@@ -76,6 +76,40 @@ class SimStats:
     sbb_hits_r: int = 0
     sbb_wrong_target: int = 0
     sbb_retired_marks: int = 0
+
+    # ------------------------------------------------------------------
+    # Interval telemetry (repro.obs.intervals)
+    # ------------------------------------------------------------------
+
+    def snapshot_row(self) -> dict[str, float]:
+        """Cumulative counters as one flat ``{name: value}`` row.
+
+        Dict-valued fields flatten to ``<field>.<key>`` (enum keys use
+        their ``.value``).  The key set only ever grows within a run
+        (``resteer_causes`` gains keys as causes first fire), which is
+        what lets :meth:`delta` treat a missing previous key as zero.
+        """
+        row: dict[str, float] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                for key, count in value.items():
+                    name = key.value if isinstance(key, BranchKind) else key
+                    row[f"{spec.name}.{name}"] = count
+            else:
+                row[spec.name] = value
+        return row
+
+    def delta(self, prev: dict[str, float] | None) -> dict[str, float]:
+        """Counter advance since ``prev`` (a :meth:`snapshot_row` dict).
+
+        Every counter is monotone within a run, so the difference of two
+        cumulative rows is exact; ``prev=None`` means "since reset".
+        """
+        row = self.snapshot_row()
+        if not prev:
+            return row
+        return {name: value - prev.get(name, 0) for name, value in row.items()}
 
     # ------------------------------------------------------------------
     # Derived metrics

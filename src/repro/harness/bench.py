@@ -27,6 +27,7 @@ blessing workflow and why the checked-in baseline carries headroom).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import platform
@@ -194,6 +195,38 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
                         grid_records / unbatched_wall, 2),
                     "speedup": round(unbatched_wall / batched_wall, 3),
                 })
+
+            # Phase 4: interval-telemetry overhead — the Figure-14 grid
+            # replayed with per-window telemetry on and off, over the
+            # traces phase 1 already built (store disabled, fresh memo
+            # each time).  The on-grid swaps each config for its
+            # interval_size=N variant; disabled telemetry is a single
+            # None-check per record, so the ratio should stay ~1.
+            interval_window = max(scale.records // 10, 1)
+            plain_grid = figures["fig14_grid"]
+            interval_grid = [
+                Cell(cell.workload,
+                     dataclasses.replace(cell.config,
+                                         interval_size=interval_window),
+                     bolted=cell.bolted)
+                for cell in plain_grid]
+
+            def _cells_wall(cells: Sequence[Cell]) -> float:
+                runner = ExperimentRunner(scale=scale, cache=cold_cache,
+                                          store=None)
+                start = time.perf_counter()
+                runner.run_cells(cells, jobs=1)
+                return time.perf_counter() - start
+
+            enabled_wall = _cells_wall(interval_grid)
+            disabled_wall = _cells_wall(plain_grid)
+            intervals_out = {
+                "window": interval_window,
+                "enabled_wall_s": round(enabled_wall, 4),
+                "disabled_wall_s": round(disabled_wall, 4),
+                "overhead_factor": (round(enabled_wall / disabled_wall, 3)
+                                    if disabled_wall else 0.0),
+            }
     finally:
         profiler_snapshot = (ledger_mod.profile_delta() if ledger is not None
                              else PROFILER.snapshot())
@@ -235,6 +268,9 @@ def run_bench(scale: Scale, workloads: Sequence[str] | None = None,
         # Additive since schema 1: batched-kernel vs per-record replay
         # of the Figure-14 grid (phase 3 above).
         "batch": batch_out,
+        # Additive since schema 1: interval telemetry on/off over the
+        # Figure-14 grid (phase 4 above).
+        "intervals": intervals_out,
         "caches": {
             **{key: round(value, 6)
                for key, value in cache_rates.items()},
@@ -367,6 +403,13 @@ def compare_bench(before: Mapping, after: Mapping,
         # Reported, never gating here: the hard >= 2x floor lives in the
         # component-throughput benchmark job (see benchmarks/).
         lines.append(f"batch speedup: {b_batch} -> {a_batch}")
+
+    b_iv = before.get("intervals", {}).get("overhead_factor")
+    a_iv = after.get("intervals", {}).get("overhead_factor")
+    if b_iv is not None or a_iv is not None:
+        # Reported, never gating here: the hard <= 1.05x ceiling lives
+        # in tests/obs/test_overhead.py.
+        lines.append(f"interval telemetry overhead: {b_iv} -> {a_iv}")
 
     b_fallbacks = before.get("batch", {}).get("object_path_fallbacks")
     a_fallbacks = after.get("batch", {}).get("object_path_fallbacks")

@@ -251,7 +251,9 @@ def _simulate_cell_body(workload: str, config: FrontEndConfig, seed: int,
                 ledger.cell(cell_id, "store_probe", hit=cached is not None)
             if cached is not None and not (
                     record_attribution
-                    and store.get_attribution(key) is None):
+                    and store.get_attribution(key) is None) and not (
+                    config.interval_size > 0
+                    and store.get_intervals(key) is None):
                 return cached, {"result": "store_hit"}
         elif ledger is not None:
             ledger.cell(cell_id, "store_probe", hit=False, store=False)
@@ -317,8 +319,10 @@ def _simulate_cell_body(workload: str, config: FrontEndConfig, seed: int,
             # parallel runs surface identical per-component counters.
             attribution = (simulator.attribution.to_jsonable()
                            if record_attribution else None)
+            intervals = (simulator.intervals.series().to_jsonable()
+                         if simulator.intervals is not None else None)
             store.put(key, stats, metrics=metrics,
-                      attribution=attribution)
+                      attribution=attribution, intervals=intervals)
             if ledger is not None:
                 ledger.cell(cell_id, "store_write", stored=True)
     outcome = {"result": "simulated", "mode": mode}
@@ -379,7 +383,10 @@ class ParallelRunner:
             if self.store is not None:
                 key = result_key(cell.workload, cell.config, cell.seed,
                                  self.scale, bolted=cell.bolted)
-                if self.store.contains(key) and not self.record_attribution:
+                if (self.store.contains(key)
+                        and not self.record_attribution
+                        and not (cell.config.interval_size > 0
+                                 and self.store.get_intervals(key) is None)):
                     continue
             needed[group] = cell
         refs: dict[tuple, tuple[str, str]] = {}

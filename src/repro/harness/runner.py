@@ -20,6 +20,7 @@ Two layers sit under the in-memory memo:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Sequence
 
@@ -73,6 +74,7 @@ class ExperimentRunner:
         self._results: dict[tuple, SimStats] = {}
         self._metrics: dict[tuple, dict[str, float]] = {}
         self._attribution: dict[tuple, dict] = {}
+        self._intervals: dict[tuple, dict] = {}
 
     def _memo_key(self, workload: str, config: FrontEndConfig,
                   bolted: bool, seed: int) -> tuple:
@@ -162,6 +164,56 @@ class ExperimentRunner:
                 "result store to hand artifacts back")
         return stats, AttributionAggregator.from_jsonable(payload)
 
+    def intervals_for(self, workload: str, config: FrontEndConfig,
+                      bolted: bool = False) -> dict | None:
+        """The interval series of an already-run cell (memo, then store).
+
+        Returns the JSON-able series payload, or ``None`` when the cell
+        ran without interval telemetry (``config.interval_size == 0``,
+        or a store entry that predates the series artifact -- use
+        :meth:`run_with_intervals` to force one into existence).
+        """
+        key = self._memo_key(workload, config, bolted, self.seed)
+        intervals = self._intervals.get(key)
+        if intervals is None and self.store is not None:
+            store_key = self.store.key(workload, config, self.seed,
+                                       self.scale, bolted=bolted)
+            intervals = self.store.get_intervals(store_key)
+            if intervals is not None:
+                self._intervals[key] = intervals
+        return intervals
+
+    def run_with_intervals(self, workload: str, config: FrontEndConfig,
+                           bolted: bool = False, window: int | None = None):
+        """Run one cell and return ``(stats, IntervalSeries)``.
+
+        When ``config.interval_size`` is zero, ``window`` supplies it
+        (the adjusted config addresses its own store cell, like any
+        other knob change).  A memoised or stored result lacking the
+        series artifact is evicted and re-simulated once.
+        """
+        from repro.obs.intervals import IntervalSeries
+
+        if config.interval_size <= 0:
+            if not window:
+                raise ValueError(
+                    "interval telemetry disabled: set config.interval_size "
+                    "or pass window=")
+            config = dataclasses.replace(config, interval_size=window)
+        stats = self.run(workload, config, bolted=bolted)
+        payload = self.intervals_for(workload, config, bolted=bolted)
+        if payload is None:
+            # Memoised earlier without the artifact; drop and re-run.
+            key = self._memo_key(workload, config, bolted, self.seed)
+            self._results.pop(key, None)
+            stats = self.run(workload, config, bolted=bolted)
+            payload = self.intervals_for(workload, config, bolted=bolted)
+        if payload is None:  # pragma: no cover - store-less parallel only
+            raise RuntimeError(
+                "interval series unavailable; parallel runs need a result "
+                "store to hand artifacts back")
+        return stats, IntervalSeries.from_jsonable(payload)
+
     def _run_uncached(
             self, workload: str, config: FrontEndConfig, bolted: bool,
             seed: int, queued: bool = True
@@ -222,16 +274,25 @@ class ExperimentRunner:
                     ledger.cell(cell_id, "store_probe",
                                 hit=stored is not None)
                 if stored is not None:
+                    # A hit only short-circuits when every artifact this
+                    # run needs is present; an entry predating one falls
+                    # through and re-simulates to backfill it.
+                    backfill = None
                     if self.record_attribution:
                         attribution = self.store.get_attribution(store_key)
-                        if attribution is not None:
+                        if attribution is None:
+                            backfill = "attribution"
+                        else:
                             self._attribution[self._memo_key(
                                 workload, config, bolted, seed)] = attribution
-                            return (stored, self.store.get_metrics(store_key),
-                                    {"result": "store_hit"})
-                        # Entry predates attribution: fall through and
-                        # re-simulate to backfill it.
-                    else:
+                    if backfill is None and config.interval_size > 0:
+                        intervals = self.store.get_intervals(store_key)
+                        if intervals is None:
+                            backfill = "intervals"
+                        else:
+                            self._intervals[self._memo_key(
+                                workload, config, bolted, seed)] = intervals
+                    if backfill is None:
                         return (stored, self.store.get_metrics(store_key),
                                 {"result": "store_hit"})
             elif ledger is not None:
@@ -286,9 +347,14 @@ class ExperimentRunner:
                 attribution = simulator.attribution.to_jsonable()
                 self._attribution[self._memo_key(
                     workload, config, bolted, seed)] = attribution
+            intervals = None
+            if simulator.intervals is not None:
+                intervals = simulator.intervals.series().to_jsonable()
+                self._intervals[self._memo_key(
+                    workload, config, bolted, seed)] = intervals
             if self.store is not None:
                 self.store.put(store_key, stats, metrics=metrics,
-                               attribution=attribution)
+                               attribution=attribution, intervals=intervals)
                 if ledger is not None:
                     ledger.cell(cell_id, "store_write", stored=True)
         return stats, metrics, outcome
@@ -401,6 +467,11 @@ class ExperimentRunner:
                     store_key = self.store.key(workload, cell.config, seed,
                                                self.scale, bolted=bolted)
                     stored = self.store.get(store_key)
+                    if (stored is not None and cell.config.interval_size > 0
+                            and self.store.get_intervals(store_key) is None):
+                        # Entry predates interval telemetry: treat as a
+                        # miss and re-simulate to backfill the series.
+                        stored = None
                     if ledger is not None:
                         ledger.cell(cell_id, "store_probe",
                                     hit=stored is not None)
@@ -480,6 +551,12 @@ class ExperimentRunner:
                         metrics = simulator.metrics_snapshot()
                         self._results[cell.identity(self.scale)] = stats
                         self._metrics[cell.identity(self.scale)] = metrics
+                        intervals = None
+                        if simulator.intervals is not None:
+                            intervals = (
+                                simulator.intervals.series().to_jsonable())
+                            self._intervals[
+                                cell.identity(self.scale)] = intervals
                         if ledger is not None:
                             ledger.cell(cell_id, "simulate", mode=mode,
                                         fallback_reason=reason)
@@ -491,7 +568,8 @@ class ExperimentRunner:
                                 workload, cell.config, seed, self.scale,
                                 bolted=bolted)
                             self.store.put(store_key, stats,
-                                           metrics=metrics)
+                                           metrics=metrics,
+                                           intervals=intervals)
                             if ledger is not None:
                                 ledger.cell(cell_id, "store_write",
                                             stored=True)
@@ -529,3 +607,4 @@ class ExperimentRunner:
         self._results.clear()
         self._metrics.clear()
         self._attribution.clear()
+        self._intervals.clear()

@@ -241,9 +241,28 @@ class ResultStore:
             return None
         return attribution
 
+    def get_intervals(self, key: str) -> dict | None:
+        """The interval series stored alongside a result, if any.
+
+        Returns the JSON-able series payload (rebuild it with
+        ``IntervalSeries.from_jsonable``); ``None`` for entries written
+        without interval telemetry.  Uncounted, like :meth:`get_metrics`.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            intervals = payload.get("intervals")
+        except (OSError, ValueError):
+            return None
+        if not isinstance(intervals, dict):
+            return None
+        return intervals
+
     def put(self, key: str, stats: SimStats,
             metrics: dict[str, float] | None = None,
-            attribution: dict | None = None) -> Path:
+            attribution: dict | None = None,
+            intervals: dict | None = None) -> Path:
         with PROFILER.section("store.put"):
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -256,6 +275,8 @@ class ResultStore:
                 payload["metrics"] = dict(metrics)
             if attribution is not None:
                 payload["attribution"] = attribution
+            if intervals is not None:
+                payload["intervals"] = intervals
             descriptor, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".json")
             try:

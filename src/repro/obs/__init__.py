@@ -25,6 +25,15 @@ subsystem:
 * :mod:`repro.obs.timeline` -- an opt-in per-cycle pipeline timeline
   (IAG/fetch/decode/retire/SBD tracks) exported as Chrome trace-event
   JSON for Perfetto / ``chrome://tracing``.
+* :mod:`repro.obs.intervals` -- per-window counter deltas (every
+  ``interval_size`` retired records, cut identically by all three
+  engines) frozen into a fingerprinted columnar ``IntervalSeries``;
+  column sums equal the aggregate counters exactly
+  (``interval_conservation``).
+* :mod:`repro.obs.divergence` -- lockstep-by-window comparison of two
+  engines or configs over the same trace, localizing the first
+  divergent window, then the first divergent record under the object
+  oracle with a full event trace and a state diff.
 * :mod:`repro.obs.profiler` -- a host-side section profiler
   (``perf_counter_ns``, nesting, exclusive time) threaded through the
   harness so ``repro bench`` can report where wall-clock goes.
@@ -50,6 +59,17 @@ from repro.obs.attribution import (
     LineAttribution,
     diff_attributions,
     render_report,
+)
+from repro.obs.divergence import (
+    DivergenceReport,
+    WindowDigest,
+    bisect_divergence,
+)
+from repro.obs.intervals import (
+    IntervalCollector,
+    IntervalSeries,
+    diff_series,
+    sparkline,
 )
 from repro.obs.invariants import (
     INVARIANTS,
@@ -99,10 +119,16 @@ __all__ = [
     "AttributionAggregator",
     "AttributionDiff",
     "BranchAttribution",
+    "DivergenceReport",
     "DroppedEventsWarning",
     "EventTrace",
+    "IntervalCollector",
+    "IntervalSeries",
     "LineAttribution",
+    "WindowDigest",
+    "bisect_divergence",
     "diff_attributions",
+    "diff_series",
     "render_report",
     "Histogram",
     "INVARIANTS",
@@ -136,6 +162,7 @@ __all__ = [
     "snapshot_from_stats",
     "snapshot_to_prometheus",
     "span_rollup",
+    "sparkline",
     "start_run",
     "summarize",
 ]

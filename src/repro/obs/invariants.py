@@ -352,6 +352,31 @@ def _check_attribution_sbd(s: Snapshot) -> str | None:
     return None
 
 
+def _check_interval_conservation(s: Snapshot) -> str | None:
+    # Every ``intervals.X`` total must equal the matching aggregate
+    # ``sim.X`` counter exactly: the window rows partition the counted
+    # region, so their column sums telescope to the whole-run value.
+    for name in sorted(s):
+        if not name.startswith("intervals."):
+            continue
+        field = name[len("intervals."):]
+        if field in ("windows", "interval_size"):
+            continue
+        sim_key = f"sim.{field}"
+        if sim_key not in s:
+            continue
+        expected = s[sim_key]
+        if field == "cycles" and s.get("sim.instructions", 0) == 0:
+            # No record retired inside the counted region: the engine
+            # epilogue reports a degenerate cycle figure (the whole-run
+            # clock, or an epsilon clamp, so rates stay finite) while
+            # the series records the true zero counted-region sum.
+            continue
+        if s[name] != expected:
+            return f"{name}={s[name]} but {sim_key}={expected}"
+    return None
+
+
 _SIM_BASE = ("sim.btb_lookups", "sim.branches_total")
 _SBB_SIM = ("sim.sbb_lookups", "sim.sbb_misses", "sim.sbb_hits_u",
             "sim.sbb_hits_r")
@@ -491,6 +516,11 @@ INVARIANTS: tuple[Invariant, ...] = (
                         "sim.sbd_head_decodes", "sim.sbd_tail_decodes",
                         "sim.sbd_head_discarded"),
               flags=("config.skia_enabled",)),
+    Invariant("interval_conservation",
+              "per-window interval-series column sums equal the "
+              "aggregate post-warm-up counters exactly",
+              _check_interval_conservation,
+              requires=("intervals.windows",)),
 )
 
 

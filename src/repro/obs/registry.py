@@ -214,6 +214,7 @@ def snapshot_to_prometheus(snapshot: Mapping[str, float],
     lines = []
     for name in sorted(snapshot):
         metric = _prometheus_name(name)
+        lines.append(f"# HELP {metric} repro counter {name}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric}{label_str} "
                      f"{_prometheus_value(snapshot[name])}")

@@ -301,6 +301,33 @@ class TestRunsCommands:
         assert main(["runs", "list", "--root", str(tmp_path)]) == 0
         assert "no runs" in capsys.readouterr().out
 
+    def test_list_json_is_machine_readable(self, recorded_run, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["runs", "list", "--json", "--root",
+                     str(recorded_run)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        entry = payload[0]
+        assert entry["status"] == "complete"
+        assert entry["command"].startswith("stats run noop")
+        assert {"run_id", "created", "schema_version", "cells_seen",
+                "results", "incomplete"} <= entry.keys()
+
+    def test_show_json_carries_per_cell_lifecycle(self, recorded_run,
+                                                  capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["runs", "show", "--latest", "--json", "--root",
+                     str(recorded_run)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "complete"
+        assert payload["cells"]
+        cell = next(iter(payload["cells"].values()))
+        assert "phases" in cell and "result" in cell
+
     def test_check_detects_tampered_spans(self, recorded_run, capsys):
         run_dir = next(d for d in recorded_run.iterdir() if d.is_dir())
         spans_path = run_dir / "spans.jsonl"
@@ -351,3 +378,81 @@ class TestMetricsCommands:
                      "--out", str(out_path)]) == 0
         assert "prometheus text ->" in capsys.readouterr().out
         assert out_path.read_text(encoding="utf-8").endswith("\n")
+
+
+class TestIntervalsCommands:
+    @pytest.fixture()
+    def saved_series(self, tmp_path, capsys):
+        path = tmp_path / "series.json"
+        assert main(["--scale", "smoke", "intervals", "run", "noop",
+                     "--no-store", "--window", "4000",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["intervals", "run", "noop"])
+        assert args.config == "skia"
+        assert args.window == 1000
+        assert args.out is None and args.markdown is None
+
+    def test_run_reports_conservation(self, capsys):
+        assert main(["--scale", "smoke", "intervals", "run", "noop",
+                     "--no-store", "--window", "4000",
+                     "--metrics", "ipc"]) == 0
+        out = capsys.readouterr().out
+        assert "10 windows x 4000 records" in out
+        assert "fingerprint" in out
+        assert "interval conservation" in out
+
+    def test_plot_renders_markdown_table(self, saved_series, capsys):
+        assert main(["intervals", "plot", str(saved_series),
+                     "--metrics", "ipc"]) == 0
+        out = capsys.readouterr().out
+        assert "| window | start | end | ipc |" in out
+
+    def test_diff_identical_then_mutated(self, saved_series, tmp_path,
+                                         capsys):
+        from repro.obs.intervals import IntervalSeries
+
+        assert main(["intervals", "diff", str(saved_series),
+                     str(saved_series)]) == 0
+        assert "identical" in capsys.readouterr().out
+        mutated = IntervalSeries.load(saved_series)
+        mutated.columns["blocks"][0] += 1
+        other = tmp_path / "other.json"
+        mutated.save(other)
+        assert main(["intervals", "diff", str(saved_series),
+                     str(other)]) == 1
+        assert "window 0" in capsys.readouterr().out
+
+
+class TestDivergenceCommands:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["divergence", "bisect", "noop"])
+        assert args.engine_a == "object"
+        assert args.engine_b == "batched"
+        assert args.config == "skia"
+        assert args.config_b is None
+
+    def test_identical_engines_exit_zero(self, capsys):
+        code = main(["--scale", "smoke", "divergence", "bisect", "noop",
+                     "--window", "8000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical" in out
+
+    def test_seeded_divergence_exits_one(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        code = main(["--scale", "smoke", "divergence", "bisect", "voter",
+                     "--config", "skia", "--config-b", "base",
+                     "--window", "8000", "--no-events",
+                     "--json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "first divergent window" in out
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["identical"] is False
+        assert payload["record_index"] is not None

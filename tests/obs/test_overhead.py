@@ -42,6 +42,7 @@ class TestStructuralGuard:
         simulator.run(micro_trace[:2_000], warmup=500)
         assert simulator.trace is None
         assert simulator.timeline is None
+        assert simulator.intervals is None
         assert simulator.bpu.trace is None
         assert simulator.skia.trace is None
         assert simulator.skia.timeline is None
@@ -58,6 +59,9 @@ class TestStructuralGuard:
 
     def test_record_timeline_flag_defaults_off(self):
         assert FrontEndConfig().record_timeline is False
+
+    def test_interval_size_defaults_off(self):
+        assert FrontEndConfig().interval_size == 0
 
     def test_default_run_has_no_ledger_telemetry(self):
         # Telemetry-off is structural: no active ledger, no span sink.
@@ -121,3 +125,27 @@ class TestCostGuard:
         assert instrumented <= untraced * MAX_OVERHEAD_FACTOR + 0.05, (
             f"instrumented run {instrumented:.3f}s vs untraced "
             f"{untraced:.3f}s exceeds {MAX_OVERHEAD_FACTOR}x")
+
+    #: Interval telemetry works per *window*, not per record -- when
+    #: off it is a single None-check per record, so the ceiling is much
+    #: tighter than the per-event instrumentation factor above.
+    MAX_INTERVAL_FACTOR = 1.05
+
+    def test_interval_run_within_tiny_factor(self, micro_program,
+                                             micro_trace):
+        import dataclasses
+        import time as time_mod
+
+        def timed(interval_size: int) -> float:
+            config = dataclasses.replace(_config(),
+                                         interval_size=interval_size)
+            simulator = FrontEndSimulator(micro_program, config)
+            start = time_mod.perf_counter()
+            simulator.run(micro_trace, warmup=2_000)
+            return time_mod.perf_counter() - start
+
+        plain = min(timed(0) for _ in range(3))
+        windowed = min(timed(500) for _ in range(3))
+        assert windowed <= plain * self.MAX_INTERVAL_FACTOR + 0.05, (
+            f"interval run {windowed:.3f}s vs plain {plain:.3f}s exceeds "
+            f"{self.MAX_INTERVAL_FACTOR}x")

@@ -124,6 +124,20 @@ class TestPrometheusExport:
         assert samples == ["repro_a_first 2", "repro_sbb_u_way_hits 3",
                            "repro_z_last 1"]
 
+    def test_help_line_precedes_each_type_line(self):
+        # promtool-style exposition: every metric's HELP line comes
+        # immediately before its TYPE line, which comes immediately
+        # before the sample.
+        from repro.obs import snapshot_to_prometheus
+
+        text = snapshot_to_prometheus({"btb.hits": 5, "ras.pops": 2})
+        lines = text.splitlines()
+        for name, metric in (("btb.hits", "repro_btb_hits"),
+                             ("ras.pops", "repro_ras_pops")):
+            index = lines.index(f"# HELP {metric} repro counter {name}")
+            assert lines[index + 1] == f"# TYPE {metric} gauge"
+            assert lines[index + 2].startswith(metric)
+
     def test_labels_attached_and_escaped(self):
         from repro.obs import snapshot_to_prometheus
 
