@@ -60,6 +60,11 @@ from repro.obs.attribution import (
     diff_attributions,
     render_report,
 )
+from repro.obs.digests import (
+    StructureDigest,
+    probe_digest,
+    state_digest,
+)
 from repro.obs.divergence import (
     DivergenceReport,
     WindowDigest,
@@ -138,6 +143,7 @@ __all__ = [
     "Scope",
     "SectionProfiler",
     "SpanRecorder",
+    "StructureDigest",
     "TimelineRecorder",
     "Violation",
     "active_ledger",
@@ -154,6 +160,7 @@ __all__ = [
     "load_snapshot",
     "merge_run_trace",
     "merge_snapshots",
+    "probe_digest",
     "profile",
     "read_manifest",
     "read_spans",
@@ -164,5 +171,6 @@ __all__ = [
     "span_rollup",
     "sparkline",
     "start_run",
+    "state_digest",
     "summarize",
 ]

@@ -1,0 +1,365 @@
+"""Cycle fast-forwarding: detection, digests, exactness, fallbacks.
+
+The contract under test: with ``REPRO_FASTFORWARD`` on (the default),
+every engine -- object loop, compiled loop, batched lane kernel --
+produces byte-identical ``SimStats``, metric snapshots and interval
+series to a non-fast-forwarded oracle run, whether or not a skip
+engages; and every ineligible run falls back to plain stepping with a
+counted reason instead of wrong numbers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.frontend import fastforward
+from repro.frontend.batch import run_compiled_batched
+from repro.frontend.config import FrontEndConfig, SkiaConfig
+from repro.frontend.engine import FrontEndSimulator
+from repro.harness.parallel import Cell, ParallelRunner
+from repro.harness.scale import Scale
+from repro.obs import digests, divergence
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    build_program,
+    build_trace,
+    compile_trace,
+)
+from repro.workloads.compiled import period_of_records
+
+#: The exactly-periodic workload (round-robin dispatch, no stochastic
+#: branches) whose cells actually engage a skip.
+STEADY = "steady-stream"
+RECORDS = 24_000
+WARMUP = 500
+
+CONFIGS = {
+    "base": FrontEndConfig(),
+    "skia": FrontEndConfig(skia=SkiaConfig()),
+}
+
+
+@pytest.fixture(scope="module")
+def steady():
+    program = build_program(STEADY, seed=0)
+    records = build_trace(STEADY, RECORDS, seed=0)
+    return program, records, compile_trace(records)
+
+
+def _run(program, records, compiled, config, engine, monkeypatch, on,
+         warmup=WARMUP):
+    monkeypatch.setenv("REPRO_FASTFORWARD", "1" if on else "0")
+    simulator = FrontEndSimulator(program, config, seed=0)
+    if engine == "object":
+        stats = simulator.run(records, warmup=warmup)
+    elif engine == "compiled":
+        stats = simulator.run_compiled(compiled, warmup=warmup)
+    else:
+        stats = run_compiled_batched(simulator, compiled, warmup=warmup)
+    series = (simulator.intervals.series().to_json_text()
+              if simulator.intervals is not None else None)
+    return (dataclasses.asdict(stats), simulator.metrics_snapshot(),
+            series, simulator.fastforward_summary)
+
+
+# ----------------------------------------------------------------------
+# Period detection
+# ----------------------------------------------------------------------
+
+class TestPeriodDetection:
+    def test_steady_trace_is_exactly_periodic(self, steady):
+        _, records, compiled = steady
+        detected = compiled.period()
+        assert detected is not None
+        period, preamble = detected
+        assert preamble == 0
+        # The detected period really is a column-level cycle.
+        for index in range(period, min(len(records), 2 * period + 64)):
+            assert records[index] == records[index - period]
+
+    def test_record_and_column_paths_agree(self, steady):
+        _, records, compiled = steady
+        assert period_of_records(records) == compiled.period()
+
+    def test_period_is_cached_on_the_trace(self, steady):
+        _, _, compiled = steady
+        assert compiled.period() is not None
+        assert compiled._period_cache == compiled.period()
+
+    def test_aperiodic_stock_trace_has_no_period(self):
+        records = build_trace("voter", 6_000, seed=0)
+        assert period_of_records(records) is None
+
+    def test_trace_shorter_than_two_periods_has_no_period(self):
+        records = build_trace(STEADY, 24_000, seed=0)
+        period, _ = period_of_records(records)
+        assert period_of_records(records[:period + period // 2]) is None
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+
+class TestDigests:
+    def test_divergence_reexports_the_same_state_digest(self):
+        # The promotion to obs.digests must not change a single hash:
+        # the re-export *is* the promoted function.
+        assert divergence.state_digest is digests.state_digest
+
+    def test_state_digest_identical_across_import_paths(self, steady):
+        program, records, _ = steady
+        simulator = FrontEndSimulator(program, CONFIGS["skia"], seed=0)
+        simulator.run(records[:500], warmup=100)
+        assert (divergence.state_digest(simulator)
+                == digests.state_digest(simulator))
+
+    def test_probe_digest_reflects_structure_state(self, steady):
+        program, records, _ = steady
+
+        def probe(n_records):
+            simulator = FrontEndSimulator(program, CONFIGS["skia"], seed=0)
+            simulator.run(records[:n_records], warmup=0)
+            state = fastforward.ProbeState(
+                0.0, 0.0, 0.0, 0.0, [], True, 0, 0, 0)
+            return digests.probe_digest(simulator, state, 0.0,
+                                        digests.StructureDigest())
+
+        assert probe(400) == probe(400)
+        assert probe(400) != probe(401)
+
+
+# ----------------------------------------------------------------------
+# SimStats periodic advance
+# ----------------------------------------------------------------------
+
+class TestAdvancePeriodic:
+    def test_scalars_and_dicts_scale_exactly(self):
+        from repro.frontend.stats import SimStats
+        from repro.isa.branch import BranchKind
+
+        stats = SimStats()
+        stats.btb_lookups = 10
+        stats.cycles = 2.5
+        stats.branches[BranchKind.CALL] = 4
+        stats.resteer_causes["cond_mispredict"] = 3
+        snapshot = stats.snapshot_state()
+        stats.btb_lookups = 16
+        stats.cycles = 4.0
+        stats.branches[BranchKind.CALL] = 7
+        stats.resteer_causes["cond_mispredict"] = 5
+        stats.resteer_causes["btb_alias"] = 2  # born inside the period
+        stats.advance_periodic(snapshot, 3)
+        assert stats.btb_lookups == 16 + 3 * 6
+        assert stats.cycles == 4.0 + 3 * 1.5
+        assert stats.branches[BranchKind.CALL] == 7 + 3 * 3
+        assert stats.resteer_causes["cond_mispredict"] == 5 + 3 * 2
+        assert stats.resteer_causes["btb_alias"] == 2 + 3 * 2
+
+
+# ----------------------------------------------------------------------
+# On/off identity with an engaged skip
+# ----------------------------------------------------------------------
+
+class TestEngagedIdentity:
+    @pytest.mark.parametrize("engine", ["object", "compiled", "batched"])
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_identity_and_skip(self, steady, engine, config_name,
+                               monkeypatch):
+        program, records, compiled = steady
+        config = CONFIGS[config_name]
+        on = _run(program, records, compiled, config, engine,
+                  monkeypatch, True)
+        off = _run(program, records, compiled, config, engine,
+                   monkeypatch, False)
+        assert on[0] == off[0], "SimStats diverged"
+        assert on[1] == off[1], "metric snapshot diverged"
+        summary = on[3]
+        assert summary["engaged"] is True
+        assert summary["skipped_records"] > 0
+        assert off[3] == {"engaged": False, "reason": "disabled by env"}
+
+    def test_interval_series_identity_window_divides_period(
+            self, steady, monkeypatch):
+        # Window 5 divides the steady period, so the quantum stays one
+        # period and the skip synthesises whole windows.
+        program, records, compiled = steady
+        config = FrontEndConfig(interval_size=5)
+        on = _run(program, records, compiled, config, "compiled",
+                  monkeypatch, True)
+        off = _run(program, records, compiled, config, "compiled",
+                   monkeypatch, False)
+        assert on[3]["engaged"] and on[3]["skipped_records"] > 0
+        assert on[0] == off[0]
+        assert on[2] == off[2], "interval series diverged"
+
+    def test_interval_series_identity_window_not_dividing_period(
+            self, steady, monkeypatch):
+        # Window 2 does not divide the (odd) period: the quantum widens
+        # to lcm(period, 2) = 2 periods so probes keep landing at the
+        # same window offset.  Identity must hold whether or not the
+        # wider quantum still finds a repeat in this trace.
+        program, records, compiled = steady
+        period, _ = compiled.period()
+        assert period % 2 == 1
+        config = FrontEndConfig(interval_size=2)
+        on = _run(program, records, compiled, config, "compiled",
+                  monkeypatch, True)
+        off = _run(program, records, compiled, config, "compiled",
+                   monkeypatch, False)
+        assert on[3]["engaged"] is True
+        assert on[3]["quantum"] == 2 * period
+        assert on[0] == off[0]
+        assert on[2] == off[2]
+
+    def test_warmup_boundary_inside_first_period(self, steady,
+                                                 monkeypatch):
+        program, records, compiled = steady
+        period, _ = compiled.period()
+        warmup = period // 3
+        on = _run(program, records, compiled, CONFIGS["base"], "compiled",
+                  monkeypatch, True, warmup=warmup)
+        off = _run(program, records, compiled, CONFIGS["base"], "compiled",
+                   monkeypatch, False, warmup=warmup)
+        assert on[3]["engaged"] and on[3]["skipped_records"] > 0
+        assert on[0] == off[0]
+        assert on[1] == off[1]
+
+
+# ----------------------------------------------------------------------
+# Fallbacks
+# ----------------------------------------------------------------------
+
+class TestFallbacks:
+    def test_env_kill_switch(self, steady, monkeypatch):
+        program, records, compiled = steady
+        _, _, _, summary = _run(program, records, compiled,
+                                CONFIGS["base"], "compiled",
+                                monkeypatch, False)
+        assert summary == {"engaged": False, "reason": "disabled by env"}
+
+    def test_trace_too_short_for_the_probe_quantum(self, steady,
+                                                   monkeypatch):
+        program, records, compiled = steady
+        period, _ = compiled.period()
+        monkeypatch.setenv("REPRO_FASTFORWARD", "1")
+        short = records[:period * 2]  # periodic, but no room to probe
+        simulator = FrontEndSimulator(program, CONFIGS["base"], seed=0)
+        stats = simulator.run(short, warmup=period)
+        reason = simulator.fastforward_summary["reason"]
+        assert reason in ("trace too short for the probe quantum",
+                          "no detected period")
+        monkeypatch.setenv("REPRO_FASTFORWARD", "0")
+        oracle = FrontEndSimulator(program, CONFIGS["base"], seed=0)
+        expected = oracle.run(short, warmup=period)
+        assert dataclasses.asdict(stats) == dataclasses.asdict(expected)
+
+    def test_digest_never_repeats_falls_back_cleanly(self, steady,
+                                                     monkeypatch):
+        program, records, compiled = steady
+        off = _run(program, records, compiled, CONFIGS["base"],
+                   "compiled", monkeypatch, False)
+        counter = iter(range(10 ** 9))
+
+        def unique_digest(simulator, state, base, acc):
+            return next(counter).to_bytes(8, "little")
+
+        monkeypatch.setattr(fastforward, "probe_digest", unique_digest)
+        on = _run(program, records, compiled, CONFIGS["base"],
+                  "compiled", monkeypatch, True)
+        summary = on[3]
+        assert summary["engaged"] is True
+        assert summary["reason"] == "digest never repeated"
+        assert summary["skipped_records"] == 0
+        assert on[0] == off[0]
+        assert on[1] == off[1]
+
+    def test_generator_input_falls_back(self, steady, monkeypatch):
+        program, records, _ = steady
+        monkeypatch.setenv("REPRO_FASTFORWARD", "1")
+        simulator = FrontEndSimulator(program, CONFIGS["base"], seed=0)
+        stats = simulator.run(record_iter=iter(records), warmup=WARMUP)
+        assert simulator.fastforward_summary == {
+            "engaged": False, "reason": "generator input"}
+        oracle = FrontEndSimulator(program, CONFIGS["base"], seed=0)
+        expected = oracle.run(records, warmup=WARMUP)
+        assert dataclasses.asdict(stats) == dataclasses.asdict(expected)
+
+    def test_dense_artifacts_disable_fast_forward(self, steady,
+                                                  monkeypatch):
+        from repro.obs import EventTrace
+
+        program, records, compiled = steady
+        monkeypatch.setenv("REPRO_FASTFORWARD", "1")
+        simulator = FrontEndSimulator(program, CONFIGS["base"], seed=0)
+        simulator.attach_trace(EventTrace())
+        simulator.run_compiled(compiled, warmup=WARMUP)
+        assert simulator.fastforward_summary == {
+            "engaged": False, "reason": "event trace attached"}
+
+    def test_fallbacks_are_counted(self, steady, monkeypatch):
+        program, records, compiled = steady
+        fastforward.reset_fallbacks()
+        _run(program, records, compiled, CONFIGS["base"], "compiled",
+             monkeypatch, False)
+        assert fastforward.fallback_counts() == {"disabled by env": 1}
+        fastforward.reset_fallbacks()
+
+
+# ----------------------------------------------------------------------
+# Full Figure-14 grid, fast-forward on vs off, serial and parallel
+# ----------------------------------------------------------------------
+
+GRID_CONFIGS = (
+    FrontEndConfig(),
+    FrontEndConfig(skia=SkiaConfig(decode_tails=False)),
+    FrontEndConfig(skia=SkiaConfig(decode_heads=False)),
+    FrontEndConfig(skia=SkiaConfig()),
+)
+GRID_RECORDS = 1_000
+GRID_WARMUP = 150
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES + (STEADY,))
+def test_fig14_grid_on_off_identity(workload, monkeypatch):
+    """Stats + metrics + interval series identical, on vs off, per cell."""
+    program = build_program(workload, seed=0)
+    records = build_trace(workload, GRID_RECORDS, seed=0)
+    compiled = compile_trace(records)
+    for config in GRID_CONFIGS:
+        config = dataclasses.replace(config, interval_size=100)
+        for engine in ("object", "compiled", "batched"):
+            on = _run(program, records, compiled, config, engine,
+                      monkeypatch, True, warmup=GRID_WARMUP)
+            off = _run(program, records, compiled, config, engine,
+                       monkeypatch, False, warmup=GRID_WARMUP)
+            assert on[0] == off[0], (workload, engine)
+            assert on[1] == off[1], (workload, engine)
+            assert on[2] == off[2], (workload, engine)
+
+
+class TestHarnessGrid:
+    """The harness plumbing preserves on/off identity, serial + parallel."""
+
+    SCALE = Scale("ff-equiv", records=GRID_RECORDS, warmup=GRID_WARMUP)
+    CELLS = [Cell(workload, config, 0, False)
+             for workload in WORKLOAD_NAMES[:3] + (STEADY,)
+             for config in GRID_CONFIGS]
+
+    def _stats(self, jobs, monkeypatch, on):
+        monkeypatch.setenv("REPRO_FASTFORWARD", "1" if on else "0")
+        runner = ParallelRunner(scale=self.SCALE, jobs=jobs, store=None)
+        return runner.run_batch(self.CELLS)
+
+    def test_serial_identity(self, monkeypatch):
+        reference = self._stats(1, monkeypatch, False)
+        fast = self._stats(1, monkeypatch, True)
+        for expect, got, cell in zip(reference, fast, self.CELLS):
+            assert dataclasses.asdict(got) == dataclasses.asdict(expect), \
+                cell
+
+    def test_parallel_identity(self, monkeypatch):
+        reference = self._stats(1, monkeypatch, False)
+        fast = self._stats(2, monkeypatch, True)
+        for expect, got, cell in zip(reference, fast, self.CELLS):
+            assert dataclasses.asdict(got) == dataclasses.asdict(expect), \
+                cell
